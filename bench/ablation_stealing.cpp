@@ -1,0 +1,66 @@
+// Ablation — work stealing on/off.
+//
+// Separates the two ingredients of adaptive IO: (1) per-target write
+// serialization under sub-coordinators (helps *internal* interference), and
+// (2) the coordinator's redistribution of waiting writers from slow to fast
+// targets (helps *external* interference).  Stealing is what the paper's
+// Algorithm 3 adds; with it disabled the transport degenerates to static
+// one-file-per-target output.
+#include "harness.hpp"
+#include "workload/pixie3d.hpp"
+
+namespace {
+using namespace aio;
+}  // namespace
+
+int main() {
+  const std::size_t samples = bench::samples_or(5);
+  const std::size_t max_procs = bench::max_procs_or(8192);
+  bench::banner("ablation_stealing",
+                "design-choice ablation: coordinator work redistribution on/off",
+                "Pixie3D large (128 MB), Jaguar, adaptive/512 OSTs, with interference job");
+
+  stats::Table table({"procs", "no-steal avg", "steal avg", "steal gain", "no-steal stddev(s)",
+                      "steal stddev(s)", "steals/run"});
+  const workload::Pixie3dConfig model = workload::Pixie3dConfig::large_model();
+
+  bench::Machine machine(fs::jaguar(), 900, /*with_load=*/true, /*min_ranks=*/max_procs);
+  machine.add_interference_job();
+  for (const std::size_t procs : {std::size_t{512}, std::size_t{2048}, std::size_t{8192}}) {
+    if (procs > max_procs) continue;
+    core::AdaptiveTransport::Config off_cfg;
+    off_cfg.n_files = 512;
+    off_cfg.stealing = false;
+    core::AdaptiveTransport off(machine.filesystem, machine.network, off_cfg);
+    core::AdaptiveTransport::Config on_cfg;
+    on_cfg.n_files = 512;
+    core::AdaptiveTransport on(machine.filesystem, machine.network, on_cfg);
+
+    const core::IoJob job = workload::pixie3d_job(model, procs);
+    stats::Summary off_bw;
+    stats::Summary off_t;
+    stats::Summary on_bw;
+    stats::Summary on_t;
+    stats::Summary steals;
+    for (std::size_t s = 0; s < samples; ++s) {
+      const core::IoResult ro = machine.run(off, job);
+      off_bw.add(ro.bandwidth());
+      off_t.add(ro.io_seconds());
+      machine.advance(600.0);
+      const core::IoResult rn = machine.run(on, job);
+      on_bw.add(rn.bandwidth());
+      on_t.add(rn.io_seconds());
+      steals.add(static_cast<double>(rn.steals));
+      machine.advance(600.0);
+    }
+    const double gain = (on_bw.mean() / off_bw.mean() - 1.0) * 100.0;
+    table.add_row({std::to_string(procs), stats::Table::bandwidth(off_bw.mean()),
+                   stats::Table::bandwidth(on_bw.mean()),
+                   (gain >= 0 ? "+" : "") + stats::Table::num(gain, 0) + "%",
+                   stats::Table::num(off_t.stddev(), 2), stats::Table::num(on_t.stddev(), 2),
+                   stats::Table::num(steals.mean(), 0)});
+  }
+  std::printf("Stealing ablation (expect: gains once procs >> targets, lower stddev)\n%s\n",
+              table.render().c_str());
+  return 0;
+}

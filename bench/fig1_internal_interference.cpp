@@ -1,0 +1,85 @@
+// Figure 1 — internal interference on Jaguar/Lustre.
+//
+// IOR, POSIX-IO, one file per writer, 512 OSTs, writers split evenly across
+// the OSTs.  Writer counts sweep 512..16384 (1:1 to 32:1 writers per OST)
+// and per-writer sizes sweep 1 MB..1024 MB with weak scaling.  Reports
+// (a) aggregate write bandwidth and (b) average per-writer bandwidth, with
+// min/avg/max across samples (the paper uses 40 samples; default here is 8,
+// override with AIO_BENCH_SAMPLES).
+//
+// Shape targets from the paper: per-writer bandwidth decreases monotonically
+// with writer count; aggregate bandwidth peaks near 4 writers/OST (later for
+// cache-friendly 8 MB) and declines 16-28% from 8192 to 16384 writers for
+// sizes >= 128 MB; 1 MB stays cache-absorbed and never declines.
+#include "harness.hpp"
+#include "workload/ior.hpp"
+
+namespace {
+
+using namespace aio;
+
+constexpr double kMiB = 1 << 20;
+
+}  // namespace
+
+int main() {
+  const std::size_t samples = bench::samples_or(8);
+  const std::size_t max_procs = bench::max_procs_or(16384);
+  bench::banner("fig1_internal_interference",
+                "Fig. 1(a) aggregate and 1(b) per-writer write bandwidth (Jaguar/Lustre)",
+                "IOR POSIX, 512 OSTs, one file per writer, weak scaling");
+
+  const double sizes_mb[] = {1, 8, 32, 128, 512, 1024};
+  std::vector<std::size_t> writer_counts;
+  for (std::size_t w = 512; w <= max_procs; w *= 2) writer_counts.push_back(w);
+
+  stats::Table aggregate({"size/writer", "writers", "ratio", "agg min", "agg avg", "agg max"});
+  stats::Table per_writer({"size/writer", "writers", "ratio", "pw min", "pw avg", "pw max"});
+
+  // The paper's ratio sweep is a controlled experiment: production noise is
+  // present (the error bars) but mild compared to the Table I conditions, or
+  // the internal-interference trend could not have been isolated.  Use a
+  // light background so the contention curve dominates and the load only
+  // contributes spread.
+  fs::MachineSpec spec = fs::jaguar();
+  spec.load.mean_load = 0.12;
+  spec.load.local_cv = 0.5;
+  spec.load.global_cv = 0.3;
+  spec.load.max_load = 0.55;
+  spec.load.clamp_jitter_lo = 0.9;
+  spec.load.clamp_jitter_hi = 1.0;
+
+  for (const double size_mb : sizes_mb) {
+    // Fresh machine per size so cache state does not leak across series.
+    bench::Machine machine(spec, /*seed=*/1000 + static_cast<std::uint64_t>(size_mb),
+                           /*with_load=*/true);
+    for (const std::size_t writers : writer_counts) {
+      workload::IorConfig cfg;
+      cfg.writers = writers;
+      cfg.bytes_per_writer = size_mb * kMiB;
+      cfg.osts_to_use = 512;
+      cfg.mode = fs::Ost::Mode::Cached;
+      cfg.samples = samples;
+      cfg.gap_seconds = 1.0;  // back-to-back iterations, as IOR runs them
+      cfg.warmup = 2;         // reach cache steady state before recording
+      const workload::IorSeries series = workload::run_ior(machine.filesystem, cfg);
+      machine.advance(120.0);  // let caches settle before the next scale
+
+      const stats::Summary agg = series.aggregate_summary();
+      const stats::Summary pw = series.per_writer_summary();
+      const std::string ratio = std::to_string(writers / 512) + ":1";
+      aggregate.add_row({bench::mb(size_mb * kMiB), std::to_string(writers), ratio,
+                         stats::Table::bandwidth(agg.min()), stats::Table::bandwidth(agg.mean()),
+                         stats::Table::bandwidth(agg.max())});
+      per_writer.add_row({bench::mb(size_mb * kMiB), std::to_string(writers), ratio,
+                          stats::Table::bandwidth(pw.min()), stats::Table::bandwidth(pw.mean()),
+                          stats::Table::bandwidth(pw.max())});
+    }
+  }
+
+  std::printf("Fig 1(a): scaling of aggregate write bandwidth\n%s\n",
+              aggregate.render().c_str());
+  std::printf("Fig 1(b): scaling of per-writer write bandwidth\n%s\n",
+              per_writer.render().c_str());
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+//
+// Every bench assembles a simulated machine from a MachineSpec, runs
+// transports on it, and prints the same rows/series the paper's table or
+// figure reports.  Sample counts and scale caps honour environment
+// variables so the full 40-sample runs of the paper are one export away:
+//
+//   AIO_BENCH_SAMPLES   overrides each bench's default sample count
+//   AIO_BENCH_MAX_PROCS caps the largest writer count (default 16384)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "core/transports/adaptive_transport.hpp"
+#include "core/transports/layout.hpp"
+#include "core/transports/mpiio_transport.hpp"
+#include "core/transports/posix_transport.hpp"
+#include "fs/filesystem.hpp"
+#include "fs/interference.hpp"
+#include "fs/machine.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace aio::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long parsed = std::atol(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+inline std::size_t samples_or(std::size_t fallback) {
+  return env_size("AIO_BENCH_SAMPLES", fallback);
+}
+
+inline std::size_t max_procs_or(std::size_t fallback) {
+  return env_size("AIO_BENCH_MAX_PROCS", fallback);
+}
+
+/// A fully assembled simulated machine.
+struct Machine {
+  fs::MachineSpec spec;
+  sim::Engine engine;
+  fs::FileSystem filesystem;
+  net::Network network;
+  std::optional<fs::BackgroundLoad> load;
+  std::optional<fs::InterferenceJob> job;
+
+  Machine(fs::MachineSpec machine_spec, std::uint64_t seed, bool with_load,
+          std::size_t min_ranks = 0)
+      : spec(std::move(machine_spec)),
+        filesystem(engine, spec.fs),
+        network(engine,
+                net::NetConfig{spec.msg_latency_s, spec.nic_bw, spec.cores_per_node},
+                std::max(min_ranks, spec.total_cores())) {
+    if (with_load) {
+      load.emplace(engine, sim::Rng(seed).fork(1), spec.load, filesystem.ost_pointers());
+      load->start();
+    }
+  }
+
+  /// Installs the paper's Section IV artificial interference job.
+  void add_interference_job() {
+    job.emplace(engine, fs::InterferenceJob::Config{}, filesystem.ost_pointers());
+  }
+
+  /// Runs one collective output; starts/stops the interference job around it.
+  core::IoResult run(core::Transport& transport, const core::IoJob& io_job) {
+    if (job) job->start();
+    std::optional<core::IoResult> result;
+    transport.run(io_job, [&](core::IoResult r) {
+      result = std::move(r);
+      if (job) job->stop();
+    });
+    engine.run();
+    if (!result) throw std::logic_error("bench: transport did not complete");
+    return *result;
+  }
+
+  /// Advances wall-clock (compute phase between output steps).
+  void advance(double seconds) { engine.run_until(engine.now() + seconds); }
+};
+
+inline void banner(const char* binary, const char* reproduces, const char* setup) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", binary);
+  std::printf("Reproduces: %s\n", reproduces);
+  std::printf("Setup:      %s\n", setup);
+  std::printf("================================================================\n\n");
+}
+
+inline std::string mb(double bytes) { return stats::Table::bytes(bytes); }
+
+}  // namespace aio::bench

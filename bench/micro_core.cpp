@@ -1,0 +1,184 @@
+// Micro-benchmarks for the core building blocks (google-benchmark).
+//
+// Establishes that the simulator substrate is fast enough for the
+// paper-scale experiments: event-queue throughput, fluid-resource churn,
+// OST write paths, index construction/serialization/merge, topology math,
+// and raw protocol state-machine message handling.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/index/index.hpp"
+#include "core/protocol/coordinator_fsm.hpp"
+#include "core/protocol/subcoordinator_fsm.hpp"
+#include "core/protocol/writer_fsm.hpp"
+#include "fs/ost.hpp"
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+
+namespace {
+
+using namespace aio;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (std::size_t i = 0; i < n; ++i)
+      engine.schedule_at(static_cast<double>(i % 97), [] {});
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_EngineCancelHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      handles.push_back(engine.schedule_at(static_cast<double>(i), [] {}));
+    for (std::size_t i = 0; i < n; i += 2) engine.cancel(handles[i]);
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_EngineCancelHeavy)->Arg(16384);
+
+void BM_FluidResourceChurn(benchmark::State& state) {
+  const auto streams = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::FluidResource r(engine, {1e9, 0.0, 0.01});
+    for (std::size_t i = 0; i < streams; ++i)
+      r.start(1e6 * static_cast<double>(1 + i % 7), nullptr);
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * streams);
+}
+BENCHMARK(BM_FluidResourceChurn)->Arg(32)->Arg(256);
+
+void BM_OstConcurrentDurable(benchmark::State& state) {
+  const auto writers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    fs::Ost ost(engine, {});
+    for (std::size_t i = 0; i < writers; ++i) ost.write(8e6, fs::Ost::Mode::Durable, nullptr);
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * writers);
+}
+BENCHMARK(BM_OstConcurrentDurable)->Arg(4)->Arg(32)->Arg(128);
+
+core::LocalIndex make_index(int blocks) {
+  core::LocalIndex idx;
+  idx.writer = 1;
+  idx.file = 0;
+  for (int b = 0; b < blocks; ++b) {
+    core::BlockRecord rec;
+    rec.writer = 1;
+    rec.var_id = static_cast<std::uint32_t>(b);
+    rec.file_offset = static_cast<std::uint64_t>(b) * 1024;
+    rec.length = 1024;
+    rec.global_dims = {4096, 4096, 4096};
+    rec.offsets = {0, 0, static_cast<std::uint64_t>(b)};
+    rec.counts = {64, 64, 64};
+    idx.blocks.push_back(std::move(rec));
+  }
+  return idx;
+}
+
+void BM_IndexSerializeRoundTrip(benchmark::State& state) {
+  const core::LocalIndex idx = make_index(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto bytes = idx.serialize();
+    auto back = core::LocalIndex::deserialize(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_IndexSerializeRoundTrip)->Arg(8)->Arg(512);
+
+void BM_FileIndexMergeFinalize(benchmark::State& state) {
+  const auto writers = static_cast<std::size_t>(state.range(0));
+  std::vector<core::LocalIndex> locals;
+  for (std::size_t w = 0; w < writers; ++w) {
+    core::LocalIndex idx = make_index(8);
+    idx.writer = static_cast<core::Rank>(w);
+    locals.push_back(std::move(idx));
+  }
+  for (auto _ : state) {
+    core::FileIndex fi(0);
+    for (const auto& l : locals) fi.merge(l);
+    fi.finalize();
+    benchmark::DoNotOptimize(fi.blocks().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * writers);
+}
+BENCHMARK(BM_FileIndexMergeFinalize)->Arg(32)->Arg(512);
+
+void BM_GlobalIndexQuery(benchmark::State& state) {
+  core::GlobalIndex gi;
+  for (int f = 0; f < 64; ++f) {
+    core::FileIndex fi(f);
+    for (int w = 0; w < 32; ++w) {
+      core::LocalIndex idx = make_index(8);
+      idx.writer = f * 32 + w;
+      idx.file = f;
+      fi.merge(idx);
+    }
+    fi.finalize();
+    gi.add(std::move(fi));
+  }
+  const std::vector<std::uint64_t> off{0, 0, 0}, cnt{64, 64, 64};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gi.query(3, off, cnt));
+  }
+}
+BENCHMARK(BM_GlobalIndexQuery);
+
+void BM_TopologyGroupOf(benchmark::State& state) {
+  const core::Topology topo(224160, 672);
+  core::Rank r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.group_of(r));
+    r = (r + 7919) % 224160;
+  }
+}
+BENCHMARK(BM_TopologyGroupOf);
+
+void BM_SubCoordinatorHandleCompletion(benchmark::State& state) {
+  const std::size_t members = 256;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SubCoordinatorFsm::Config cfg;
+    cfg.group = 0;
+    cfg.rank = 0;
+    cfg.coordinator = 0;
+    for (std::size_t i = 0; i < members; ++i) {
+      cfg.members.push_back(static_cast<core::Rank>(i));
+      cfg.member_bytes.push_back(1e6);
+    }
+    core::SubCoordinatorFsm sc(cfg);
+    sc.start();
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < members; ++i) {
+      core::WriteComplete done;
+      done.kind = core::WriteComplete::Kind::WriterDone;
+      done.writer = static_cast<core::Rank>(i);
+      done.origin_group = 0;
+      done.file = 0;
+      done.bytes = 1e6;
+      benchmark::DoNotOptimize(sc.on_write_complete(done));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * members);
+}
+BENCHMARK(BM_SubCoordinatorHandleCompletion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Local-files demo: the adaptive protocol on real threads and real files.
+//
+// The same Algorithm 1-3 state machines that drive the simulator run here on
+// one thread per rank, writing actual bytes into BP-style files in a
+// temporary directory.  Afterwards the program reads everything back through
+// the on-disk indices: the per-file footer + index, then the master global
+// index, including a characteristics-based content query.
+#include <cstdio>
+#include <filesystem>
+
+#include "runtime/thread_runtime.hpp"
+
+using namespace aio;
+
+int main() {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "aio-local-demo";
+  std::filesystem::remove_all(dir);
+
+  runtime::ThreadRunConfig cfg;
+  cfg.directory = dir;
+  cfg.n_files = 4;
+  // Make ranks 0-5 slow so the coordinator visibly steals from group 0.
+  cfg.write_delay = [](core::Rank r) { return r < 6 ? 0.05 : 0.002; };
+
+  core::IoJob job;
+  for (int r = 0; r < 24; ++r) job.bytes_per_writer.push_back(4096.0 * (1 + r % 3));
+
+  std::printf("writing %zu ranks -> %zu files under %s ...\n", job.n_writers(),
+              cfg.n_files, dir.c_str());
+  const runtime::ThreadRunResult result = runtime::run_threaded(job, cfg);
+  std::printf("done in %.3f s wall: %.0f bytes, %llu writers redirected by the "
+              "coordinator\n\n",
+              result.wall_seconds, result.total_bytes,
+              static_cast<unsigned long long>(result.steals));
+
+  // Validate every file through its own embedded index.
+  for (const auto& file : result.data_files) {
+    const core::FileIndex idx = runtime::read_file_index(file);
+    const std::size_t checked = runtime::verify_blocks(file, idx);
+    std::printf("%-40s %2zu blocks, %zu verified against the pattern\n",
+                file.filename().c_str(), idx.blocks().size(), checked);
+  }
+
+  // The master index finds any writer's block without touching data files.
+  const core::GlobalIndex master = runtime::read_global_index(result.master_file);
+  std::printf("\nmaster index: %zu files, %zu blocks total\n", master.n_files(),
+              master.total_blocks());
+  for (const core::Rank r : {0, 5, 23}) {
+    const auto hits = master.scan_for_writer(r);
+    for (const auto& h : hits) {
+      std::printf("  writer %2d -> file %d at offset %llu (%llu bytes)\n", r, h.file,
+                  static_cast<unsigned long long>(h.block->file_offset),
+                  static_cast<unsigned long long>(h.block->length));
+    }
+  }
+
+  std::filesystem::remove_all(dir);
+  std::printf("\nall round-trips verified; demo directory removed.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: declare an IO group, pick a transport, write one output step.
+//
+// Mirrors how an application uses the ADIOS-style API: the variable schema
+// is declared once; the method switch (POSIX / MPI-IO / Adaptive) changes
+// the IO behaviour without touching application code.  Everything runs on a
+// simulated ORNL-Jaguar-class machine with production background load.
+//
+//   ./quickstart            # compare the three methods on one write step
+#include <cstdio>
+
+#include "core/api/adios.hpp"
+
+using namespace aio;
+
+int main() {
+  // A 3-D field decomposed across 1024 writers, 16 MB per process.
+  constexpr std::size_t kWriters = 1024;
+  constexpr std::uint64_t kEdge = 128;  // per-process cube edge
+
+  api::IoGroup group("restart");
+  const api::VarId temperature = group.define_var(
+      "temperature", api::Type::Double, {kEdge * kWriters, kEdge, kEdge});
+  const api::VarId pressure = group.define_var(
+      "pressure", api::Type::Double, {kEdge * kWriters, kEdge, kEdge});
+
+  api::Simulation::Options options;
+  options.adaptive_files = 512;  // one output file per storage target
+  options.mpiio_stripes = 160;   // the Lustre 1.6 single-file limit
+  api::Simulation sim(fs::jaguar(), /*seed=*/42, options);
+
+  const auto contribution = [&](core::Rank rank) {
+    api::WriteSet ws(group);
+    const auto slab = static_cast<std::uint64_t>(rank) * kEdge;
+    ws.put(temperature, {slab, 0, 0}, {kEdge, kEdge, kEdge});
+    ws.put(pressure, {slab, 0, 0}, {kEdge, kEdge, kEdge});
+    return ws;
+  };
+
+  std::printf("one output step: %zu writers x 2 vars x %llu^3 doubles (%.1f GB total)\n\n",
+              kWriters, static_cast<unsigned long long>(kEdge),
+              2.0 * kWriters * kEdge * kEdge * kEdge * 8 / 1e9);
+  std::printf("%-10s %12s %14s %10s %8s\n", "method", "IO time", "bandwidth", "imbalance",
+              "steals");
+  for (const api::Method method :
+       {api::Method::Posix, api::Method::MpiIo, api::Method::Adaptive}) {
+    const core::IoResult r = sim.write_step(group, method, kWriters, contribution);
+    std::printf("%-10s %10.2f s %11.2f GB/s %9.1fx %8llu\n", api::method_name(method),
+                r.io_seconds(), r.bandwidth() / 1e9, r.imbalance_factor(),
+                static_cast<unsigned long long>(r.steals));
+    sim.advance(900.0);  // compute phase between output steps
+  }
+  std::printf("\nThe adaptive method writes one file per storage target, serializes the\n"
+              "writers behind each target, and lets the coordinator shift waiting writers\n"
+              "from slow targets to already-finished ones (SC'10, Lofstead et al.).\n");
+  return 0;
+}

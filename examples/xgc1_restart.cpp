@@ -1,0 +1,77 @@
+// XGC1 restart dumps under a noisy neighbour.
+//
+// The paper's external-interference scenario from the application's point of
+// view: the XGC1 fusion code (38 MB/process) writes restart data while a
+// second job continuously writes 1 GB blocks to a file striped over 8 of
+// the same storage targets.  The example contrasts MPI-IO and adaptive IO
+// with the interference job off and on, and shows where the adaptive
+// coordinator moved the work.
+#include <cstdio>
+
+#include "core/transports/adaptive_transport.hpp"
+#include "core/transports/mpiio_transport.hpp"
+#include "fs/interference.hpp"
+#include "fs/machine.hpp"
+#include "net/network.hpp"
+#include "workload/xgc1.hpp"
+
+using namespace aio;
+
+int main() {
+  constexpr std::size_t kProcs = 1024;
+  const core::IoJob job = workload::xgc1_job({}, kProcs);
+  std::printf("XGC1 restart: %zu processes x %.0f MB\n\n", kProcs,
+              job.bytes_per_writer[0] / 1e6);
+  std::printf("%-22s %-9s %12s %10s %8s\n", "transport", "noisy?", "IO time", "bandwidth",
+              "steals");
+
+  for (const bool noisy : {false, true}) {
+    for (const bool adaptive : {false, true}) {
+      sim::Engine engine;
+      fs::MachineSpec spec = fs::jaguar();
+      // A quiet-ish night on the machine, so the noisy neighbour's effect is
+      // not drowned by general production traffic.
+      spec.load.mean_load = 0.10;
+      spec.load.local_cv = 0.5;
+      spec.load.max_load = 0.5;
+      fs::FileSystem filesystem(engine, spec.fs);
+      net::Network network(engine, {spec.msg_latency_s, spec.nic_bw, spec.cores_per_node},
+                           kProcs);
+      fs::BackgroundLoad load(engine, sim::Rng(11).fork(1), spec.load,
+                              filesystem.ost_pointers());
+      load.start();
+      fs::InterferenceJob neighbour(engine, {}, filesystem.ost_pointers());
+      if (noisy) neighbour.start();
+
+      core::IoResult result;
+      bool done = false;
+      const auto capture = [&](core::IoResult r) {
+        result = std::move(r);
+        done = true;
+        neighbour.stop();
+      };
+      if (adaptive) {
+        core::AdaptiveTransport::Config cfg;
+        cfg.n_files = 512;
+        core::AdaptiveTransport transport(filesystem, network, cfg);
+        transport.run(job, capture);
+      } else {
+        core::MpiioTransport::Config cfg;
+        cfg.stripe_count = 160;
+        cfg.stripe_size = job.bytes_per_writer[0];
+        core::MpiioTransport transport(filesystem, cfg);
+        transport.run(job, capture);
+      }
+      engine.run();
+      if (!done) throw std::logic_error("write did not complete");
+      std::printf("%-22s %-9s %10.2f s %7.2f GB/s %8llu\n",
+                  adaptive ? "Adaptive (512 files)" : "MPI-IO (160 OSTs)",
+                  noisy ? "yes" : "no", result.io_seconds(), result.bandwidth() / 1e9,
+                  static_cast<unsigned long long>(result.steals));
+    }
+  }
+  std::printf("\nWith the neighbour active the coordinator routes waiting writers away from\n"
+              "the hammered targets, so adaptive degrades only mildly; the MPI-IO shared\n"
+              "file is pinned to its 160 stripes and absorbs whatever they deliver.\n");
+  return 0;
+}

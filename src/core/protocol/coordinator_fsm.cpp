@@ -1,0 +1,159 @@
+#include "core/protocol/coordinator_fsm.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace aio::core {
+
+CoordinatorFsm::CoordinatorFsm(Config config) : config_(std::move(config)) {
+  if (config_.n_groups == 0) throw std::invalid_argument("CoordinatorFsm: no groups");
+  if (config_.group_sizes.size() != config_.n_groups)
+    throw std::invalid_argument("CoordinatorFsm: group_sizes size mismatch");
+  if (!config_.sc_of) throw std::invalid_argument("CoordinatorFsm: sc_of resolver required");
+  sc_states_.assign(config_.n_groups, ScState::Writing);
+  next_offset_.assign(config_.n_groups, 0.0);
+  file_busy_.assign(config_.n_groups, false);
+  writes_into_.assign(config_.n_groups, 0);
+  stolen_from_.assign(config_.n_groups, 0);
+}
+
+bool CoordinatorFsm::all_complete() const {
+  for (const ScState s : sc_states_)
+    if (s != ScState::Complete) return false;
+  return true;
+}
+
+Actions CoordinatorFsm::on_write_complete(const WriteComplete& msg) {
+  Actions out;
+  switch (msg.kind) {
+    case WriteComplete::Kind::AdaptiveDone: {
+      // "if this was an adaptive write: request adaptive write by next
+      // writing SC" (Algorithm 3, lines 4-5).  The target file is free
+      // again; account for the stolen writer and try to refill the file.
+      const auto file = static_cast<std::size_t>(msg.file);
+      if (file >= config_.n_groups || !file_busy_[file])
+        throw std::logic_error("CoordinatorFsm: unexpected ADAPTIVE_WRITE_COMPLETE");
+      file_busy_[file] = false;
+      --outstanding_;
+      ++writes_into_[file];
+      ++stolen_from_[static_cast<std::size_t>(msg.origin_group)];
+      ++total_steals_;
+      next_offset_[file] += msg.bytes;
+      request_adaptive(msg.file, out);
+      break;
+    }
+    case WriteComplete::Kind::GroupDone: {
+      // "if this is an SC completing: set state complete; note final offset;
+      // request adaptive write by next writing SC" (lines 6-11).
+      const auto group = static_cast<std::size_t>(msg.origin_group);
+      if (group >= config_.n_groups || sc_states_[group] == ScState::Complete)
+        throw std::logic_error("CoordinatorFsm: duplicate GROUP_WRITE_COMPLETE");
+      sc_states_[group] = ScState::Complete;
+      next_offset_[group] = msg.final_offset;
+      request_adaptive(msg.origin_group, out);
+      break;
+    }
+    case WriteComplete::Kind::WriterDone:
+      throw std::logic_error("CoordinatorFsm: raw WRITE_COMPLETE reached the coordinator");
+  }
+  check_all_done(out);
+  return out;
+}
+
+Actions CoordinatorFsm::on_writers_busy(const WritersBusy& msg) {
+  // "Set SC state to busy; request adaptive write by next writing SC"
+  // (lines 12-15) — the declined grant is retried with a different SC.
+  Actions out;
+  const auto group = static_cast<std::size_t>(msg.group);
+  const auto file = static_cast<std::size_t>(msg.target_file);
+  if (group >= config_.n_groups || file >= config_.n_groups || !file_busy_[file])
+    throw std::logic_error("CoordinatorFsm: unexpected WRITERS_BUSY");
+  if (sc_states_[group] == ScState::Writing) sc_states_[group] = ScState::Busy;
+  file_busy_[file] = false;
+  --outstanding_;
+  request_adaptive(msg.target_file, out);
+  check_all_done(out);
+  return out;
+}
+
+void CoordinatorFsm::request_adaptive(GroupId target, Actions& out) {
+  if (!config_.stealing_enabled) return;
+  const auto file = static_cast<std::size_t>(target);
+  if (sc_states_[file] != ScState::Complete || file_busy_[file]) return;
+
+  std::size_t chosen = config_.n_groups;  // sentinel: none
+  if (config_.steal_source == StealSource::MostRemaining) {
+    // Prefer the source whose queue is (by the coordinator's accounting)
+    // longest: group size minus writers already redirected away.
+    std::size_t best_remaining = 0;
+    for (std::size_t g = 0; g < config_.n_groups; ++g) {
+      if (sc_states_[g] != ScState::Writing) continue;
+      const std::size_t remaining =
+          config_.group_sizes[g] > stolen_from_[g]
+              ? config_.group_sizes[g] - static_cast<std::size_t>(stolen_from_[g])
+              : 0;
+      if (chosen == config_.n_groups || remaining > best_remaining) {
+        chosen = g;
+        best_remaining = remaining;
+      }
+    }
+  } else {
+    // Round-robin over still-writing SCs spreads the accelerated completion
+    // rather than draining one SC at a time (the paper's choice).
+    for (std::size_t probe = 0; probe < config_.n_groups; ++probe) {
+      const std::size_t candidate = (rr_cursor_ + probe) % config_.n_groups;
+      if (sc_states_[candidate] != ScState::Writing) continue;
+      rr_cursor_ = (candidate + 1) % config_.n_groups;
+      chosen = candidate;
+      break;
+    }
+  }
+  if (chosen == config_.n_groups) return;  // no writing SC left; file stays idle
+
+  file_busy_[file] = true;
+  ++outstanding_;
+  ++grants_issued_;
+  const AdaptiveWriteStart grant{target, next_offset_[file]};
+  out.push_back(
+      SendAction{config_.sc_of(static_cast<GroupId>(chosen)), Message{config_.rank, grant}});
+}
+
+void CoordinatorFsm::check_all_done(Actions& out) {
+  if (state_ != State::Collecting) return;
+  if (outstanding_ != 0 || !all_complete()) return;
+  state_ = State::IndexGathering;
+  // "Send OVERALL_WRITE_COMPLETE to all SC" (line 18), carrying each file's
+  // expected block count = local (non-stolen) writers + adaptive arrivals.
+  for (std::size_t g = 0; g < config_.n_groups; ++g) {
+    OverallWriteComplete msg;
+    msg.expected_indices = config_.group_sizes[g] - stolen_from_[g] + writes_into_[g];
+    msg.final_data_offset = next_offset_[g];
+    out.push_back(
+        SendAction{config_.sc_of(static_cast<GroupId>(g)), Message{config_.rank, msg}});
+  }
+}
+
+Actions CoordinatorFsm::on_sub_index(const SubIndex& msg) {
+  if (state_ != State::IndexGathering)
+    throw std::logic_error("CoordinatorFsm: SUB_INDEX before OVERALL_WRITE_COMPLETE");
+  if (!msg.index) throw std::invalid_argument("CoordinatorFsm: empty SUB_INDEX");
+  // "Gather index pieces; merge into global index" (lines 19-20).
+  global_index_.add(*msg.index);
+  ++sub_indices_received_;
+  Actions out;
+  if (sub_indices_received_ == config_.n_groups) {
+    state_ = State::IndexWriting;
+    out.push_back(
+        WriteGlobalIndexAction{static_cast<double>(global_index_.serialized_size())});
+  }
+  return out;
+}
+
+Actions CoordinatorFsm::on_global_index_write_done() {
+  if (state_ != State::IndexWriting)
+    throw std::logic_error("CoordinatorFsm: global index completion out of order");
+  state_ = State::Done;
+  return {RoleDoneAction{}};
+}
+
+}  // namespace aio::core

@@ -1,0 +1,86 @@
+// Coordinator role (paper Algorithm 3).
+//
+// The coordinator is idle through the bulk of the output.  As SCs report
+// completion it builds a view of relative storage-target speed — a finished
+// SC means a *fast* target whose file can absorb more work — and shifts
+// pending writers from still-writing (slow) groups onto finished (fast)
+// files, one in-flight adaptive write per file.  Grants rotate round-robin
+// over the still-writing SCs ("adaptive writing requests are spread evenly
+// among the sub coordinators").  Once every SC is complete and no grant is
+// outstanding, it broadcasts OVERALL_WRITE_COMPLETE, gathers the per-file
+// indices, merges the global index and writes it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/protocol/actions.hpp"
+
+namespace aio::core {
+
+class CoordinatorFsm {
+ public:
+  /// How the coordinator picks the SC to steal a waiting writer from.
+  enum class StealSource : std::uint8_t {
+    RoundRobin,     ///< the paper's "spread evenly among the sub coordinators"
+    MostRemaining,  ///< prefer the group with the most unredirected writers
+  };
+
+  struct Config {
+    std::size_t n_groups = 0;
+    std::vector<std::size_t> group_sizes;
+    std::function<Rank(GroupId)> sc_of;
+    Rank rank = 0;
+    bool stealing_enabled = true;  ///< ablation: disable work redistribution
+    StealSource steal_source = StealSource::RoundRobin;
+  };
+
+  /// SC states tracked by the coordinator (paper Section III-3): `Writing`
+  /// (initial), `Busy` (all writers scheduled, no adaptive candidates), and
+  /// `Complete` (file available for adaptive use).
+  enum class ScState : std::uint8_t { Writing, Busy, Complete };
+
+  enum class State { Collecting, IndexGathering, IndexWriting, Done };
+
+  explicit CoordinatorFsm(Config config);
+
+  Actions on_write_complete(const WriteComplete& msg);
+  Actions on_writers_busy(const WritersBusy& msg);
+  Actions on_sub_index(const SubIndex& msg);
+  /// Runtime notification: the global index write finished.
+  Actions on_global_index_write_done();
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] ScState sc_state(GroupId g) const { return sc_states_.at(g); }
+  [[nodiscard]] std::size_t outstanding_grants() const { return outstanding_; }
+  [[nodiscard]] std::uint64_t total_steals() const { return total_steals_; }
+  [[nodiscard]] std::uint64_t grants_issued() const { return grants_issued_; }
+  [[nodiscard]] const GlobalIndex& global_index() const { return global_index_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  /// Tries to schedule one adaptive write into free, complete file `target`.
+  void request_adaptive(GroupId target, Actions& out);
+  /// Broadcasts OVERALL_WRITE_COMPLETE once everything has finished.
+  void check_all_done(Actions& out);
+  [[nodiscard]] bool all_complete() const;
+
+  Config config_;
+  State state_ = State::Collecting;
+  std::vector<ScState> sc_states_;
+  std::vector<double> next_offset_;       // per file; valid once Complete
+  std::vector<bool> file_busy_;           // adaptive write in flight for file
+  std::vector<std::uint64_t> writes_into_;   // adaptive writes landed per file
+  std::vector<std::uint64_t> stolen_from_;   // writers redirected away per group
+  std::size_t outstanding_ = 0;
+  std::size_t rr_cursor_ = 0;
+  std::uint64_t total_steals_ = 0;
+  std::uint64_t grants_issued_ = 0;
+
+  GlobalIndex global_index_;
+  std::size_t sub_indices_received_ = 0;
+};
+
+}  // namespace aio::core

@@ -1,0 +1,155 @@
+#include "core/protocol/subcoordinator_fsm.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace aio::core {
+
+SubCoordinatorFsm::SubCoordinatorFsm(Config config)
+    : config_(std::move(config)),
+      writers_remaining_(config_.members.size()),
+      file_index_(config_.group) {
+  if (config_.group < 0 || config_.rank < 0)
+    throw std::invalid_argument("SubCoordinatorFsm: incomplete config");
+  if (config_.members.empty())
+    throw std::invalid_argument("SubCoordinatorFsm: a group needs at least one member");
+  if (config_.members.size() != config_.member_bytes.size())
+    throw std::invalid_argument("SubCoordinatorFsm: member/bytes size mismatch");
+  if (config_.members.front() != config_.rank)
+    throw std::invalid_argument("SubCoordinatorFsm: SC must be its group's first member");
+  if (config_.max_concurrent == 0)
+    throw std::invalid_argument("SubCoordinatorFsm: max_concurrent must be >= 1");
+  for (std::size_t i = 0; i < config_.members.size(); ++i) waiting_.push_back(i);
+}
+
+Actions SubCoordinatorFsm::start() { return signal_next_writers(); }
+
+Actions SubCoordinatorFsm::signal_next_writers() {
+  // "Signal next waiting writer to write" (Algorithm 2, line 2): keep up to
+  // max_concurrent local writes in flight; offsets are assigned lazily so a
+  // stolen writer never leaves a hole in this file.
+  Actions out;
+  while (active_local_ < config_.max_concurrent && !waiting_.empty()) {
+    const std::size_t member = waiting_.front();
+    waiting_.pop_front();
+    ++active_local_;
+    DoWrite msg{config_.group, local_offset_};
+    local_offset_ += config_.member_bytes[member];
+    out.push_back(SendAction{config_.members[member], Message{config_.rank, msg}});
+  }
+  return out;
+}
+
+Actions SubCoordinatorFsm::on_write_complete(const WriteComplete& msg) {
+  if (msg.kind != WriteComplete::Kind::WriterDone)
+    throw std::logic_error("SubCoordinatorFsm: unexpected WRITE_COMPLETE kind");
+  Actions out;
+
+  const bool mine = msg.origin_group == config_.group;
+  const bool into_my_file = msg.file == config_.group;
+
+  if (mine) {
+    if (writers_remaining_ == 0)
+      throw std::logic_error("SubCoordinatorFsm: completion after all writers done");
+    --writers_remaining_;
+    if (!into_my_file) {
+      // "if source is one of mine, but target is not me: send adaptive
+      // WRITE_COMPLETE to C" (Algorithm 2, lines 5-6).
+      WriteComplete fwd = msg;
+      fwd.kind = WriteComplete::Kind::AdaptiveDone;
+      out.push_back(SendAction{config_.coordinator, Message{config_.rank, fwd}});
+    } else {
+      --active_local_;
+      const Actions next = signal_next_writers();
+      out.insert(out.end(), next.begin(), next.end());
+    }
+    if (writers_remaining_ == 0 && !group_done_sent_) {
+      // "if all writers completed: send WRITE_COMPLETE to C" (lines 12-13).
+      group_done_sent_ = true;
+      WriteComplete done;
+      done.kind = WriteComplete::Kind::GroupDone;
+      done.origin_group = config_.group;
+      done.file = config_.group;
+      done.final_offset = local_offset_;
+      out.push_back(SendAction{config_.coordinator, Message{config_.rank, done}});
+    }
+  }
+  if (into_my_file) {
+    // Count every write landing in my file, local or adaptive ("Save index
+    // size for index message; missing indices++", lines 8-10).
+    ++completions_into_file_;
+  }
+  if (mine && !into_my_file) ++redirected_;
+  check_ready_to_index(out);
+  return out;
+}
+
+Actions SubCoordinatorFsm::on_index_body(const IndexBody& msg) {
+  if (!msg.index) throw std::invalid_argument("SubCoordinatorFsm: empty INDEX_BODY");
+  if (msg.index->file != config_.group)
+    throw std::logic_error("SubCoordinatorFsm: INDEX_BODY for another file");
+  // "Save for index for local file; missing indices--" (lines 16-18).
+  file_index_.merge(*msg.index);
+  ++indices_received_;
+  Actions out;
+  check_ready_to_index(out);
+  return out;
+}
+
+Actions SubCoordinatorFsm::on_adaptive_write_start(const AdaptiveWriteStart& msg) {
+  Actions out;
+  if (waiting_.empty()) {
+    // "if no waiting writers: send WRITERS_BUSY to C" (lines 21-22).
+    out.push_back(SendAction{config_.coordinator,
+                             Message{config_.rank, WritersBusy{config_.group, msg.target_file}}});
+    return out;
+  }
+  // "Signal writer with new target and offset" (line 24).  The redirected
+  // write does not occupy this SC's local in-flight window.
+  const std::size_t member = waiting_.front();
+  waiting_.pop_front();
+  out.push_back(SendAction{config_.members[member],
+                           Message{config_.rank, DoWrite{msg.target_file, msg.offset}}});
+  return out;
+}
+
+Actions SubCoordinatorFsm::on_overall_write_complete(const OverallWriteComplete& msg) {
+  overall_received_ = true;
+  expected_indices_ = msg.expected_indices;
+  final_data_offset_ = msg.final_data_offset;
+  Actions out;
+  check_ready_to_index(out);
+  return out;
+}
+
+void SubCoordinatorFsm::check_ready_to_index(Actions& out) {
+  // "while not done and missing indices != 0" (line 1) — made reordering-
+  // safe by comparing against the coordinator's expectation.
+  if (state_ != State::Writing && state_ != State::Draining) return;
+  if (writers_remaining_ == 0 && state_ == State::Writing) state_ = State::Draining;
+  if (!overall_received_ || indices_received_ < expected_indices_) return;
+  if (indices_received_ > expected_indices_)
+    throw std::logic_error("SubCoordinatorFsm: more indices than expected");
+
+  // "Sort and merge the index pieces for file index; Write the index"
+  // (lines 31-32).
+  state_ = State::IndexWriting;
+  file_index_.finalize();
+  out.push_back(WriteIndexAction{config_.group, final_data_offset_,
+                                 static_cast<double>(file_index_.serialized_size())});
+}
+
+Actions SubCoordinatorFsm::on_index_write_done() {
+  if (state_ != State::IndexWriting)
+    throw std::logic_error("SubCoordinatorFsm: index write completion out of order");
+  state_ = State::Done;
+  // "Send the index to C" (line 33).
+  auto shared = std::make_shared<FileIndex>(file_index_);
+  Actions out;
+  out.push_back(SendAction{config_.coordinator,
+                           Message{config_.rank, SubIndex{config_.group, std::move(shared)}}});
+  out.push_back(RoleDoneAction{});
+  return out;
+}
+
+}  // namespace aio::core

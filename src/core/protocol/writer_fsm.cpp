@@ -1,0 +1,64 @@
+#include "core/protocol/writer_fsm.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace aio::core {
+
+WriterFsm::WriterFsm(Config config) : config_(std::move(config)) {
+  if (config_.rank < 0 || config_.group < 0 || config_.my_sc < 0)
+    throw std::invalid_argument("WriterFsm: incomplete config");
+  if (config_.bytes <= 0.0) throw std::invalid_argument("WriterFsm: bytes must be > 0");
+  if (!config_.sc_of) throw std::invalid_argument("WriterFsm: sc_of resolver required");
+}
+
+Actions WriterFsm::on_do_write(const DoWrite& msg) {
+  if (state_ != State::Idle)
+    throw std::logic_error("WriterFsm: DO_WRITE received while not idle");
+  state_ = State::Writing;
+  target_ = msg.target_file;
+  offset_ = msg.offset;
+
+  // "Build local index based on offset": stamp the blueprint blocks with
+  // their final file locations.
+  auto index = std::make_shared<LocalIndex>(config_.blueprint);
+  index->writer = config_.rank;
+  index->file = target_;
+  std::uint64_t cursor = static_cast<std::uint64_t>(msg.offset);
+  for (auto& block : index->blocks) {
+    block.writer = config_.rank;
+    block.file_offset = cursor;
+    cursor += block.length;
+  }
+  index_ = std::move(index);
+
+  return {StartWriteAction{target_, offset_, config_.bytes}};
+}
+
+Actions WriterFsm::on_write_done() {
+  if (state_ != State::Writing)
+    throw std::logic_error("WriterFsm: write completion while not writing");
+  state_ = State::Done;
+
+  const Rank target_sc = config_.sc_of(target_);
+  const double index_bytes = static_cast<double>(index_->serialized_size());
+
+  WriteComplete done;
+  done.kind = WriteComplete::Kind::WriterDone;
+  done.writer = config_.rank;
+  done.origin_group = config_.group;
+  done.file = target_;
+  done.bytes = config_.bytes;
+  done.index_bytes = index_bytes;
+
+  Actions actions;
+  actions.push_back(SendAction{config_.my_sc, Message{config_.rank, done}});
+  if (target_sc != config_.my_sc) {
+    actions.push_back(SendAction{target_sc, Message{config_.rank, done}});
+  }
+  actions.push_back(SendAction{target_sc, Message{config_.rank, IndexBody{index_}}});
+  actions.push_back(RoleDoneAction{});
+  return actions;
+}
+
+}  // namespace aio::core

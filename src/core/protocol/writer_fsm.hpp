@@ -1,0 +1,58 @@
+// Writer role (paper Algorithm 1).
+//
+//   1: Wait for message (target, offset)
+//   2: Build local index based on offset
+//   3: Write data
+//   4: Send WRITE_COMPLETE to triggering SC
+//   5: if triggering SC != target SC then
+//   6:   Send WRITE_COMPLETE to target SC
+//   8: Send local index to target SC
+//
+// Index metadata is shipped *after* the data write completes so the transfer
+// overlaps the next writer's data write (paper Section III-1).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/protocol/actions.hpp"
+
+namespace aio::core {
+
+class WriterFsm {
+ public:
+  struct Config {
+    Rank rank = -1;
+    GroupId group = -1;           ///< home group; its SC is the triggering SC
+    Rank my_sc = -1;
+    double bytes = 0.0;           ///< payload this writer outputs
+    /// Blueprint of the blocks this writer produces (file offsets are
+    /// assigned when the (target, offset) message arrives).
+    LocalIndex blueprint;
+    std::function<Rank(GroupId)> sc_of;  ///< group -> SC rank
+  };
+
+  enum class State { Idle, Writing, Done };
+
+  explicit WriterFsm(Config config);
+
+  /// Algorithm 1, lines 1-3.
+  Actions on_do_write(const DoWrite& msg);
+  /// Algorithm 1, lines 4-8 (runtime reports the data write finished).
+  Actions on_write_done();
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  /// The index built for the current write (valid once Writing).
+  [[nodiscard]] std::shared_ptr<const LocalIndex> local_index() const { return index_; }
+  [[nodiscard]] bool wrote_adaptively() const { return target_ != config_.group; }
+
+ private:
+  Config config_;
+  State state_ = State::Idle;
+  GroupId target_ = -1;
+  double offset_ = 0.0;
+  std::shared_ptr<const LocalIndex> index_;
+};
+
+}  // namespace aio::core

@@ -1,0 +1,254 @@
+#include "core/transports/adaptive_transport.hpp"
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/protocol/coordinator_fsm.hpp"
+#include "core/protocol/subcoordinator_fsm.hpp"
+#include "core/protocol/writer_fsm.hpp"
+
+namespace aio::core {
+
+namespace {
+
+struct RankActor {
+  std::optional<WriterFsm> writer;
+  std::optional<SubCoordinatorFsm> sc;
+  std::optional<CoordinatorFsm> coord;
+};
+
+/// Per-run state; kept alive by the callbacks that reference it.
+struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
+  fs::FileSystem& fs;
+  net::Network& net;
+  AdaptiveTransport::Config cfg;
+  Topology topo;
+  fs::Ost::Mode data_mode = fs::Ost::Mode::Durable;
+
+  std::vector<fs::StripedFile*> files;  // one per group
+  fs::StripedFile* master = nullptr;    // global index file
+  std::vector<RankActor> actors;
+
+  IoResult result;
+  std::function<void(IoResult)> on_done;
+  std::size_t roles_remaining = 0;
+  std::size_t opens_remaining = 0;
+  std::size_t closes_remaining = 0;
+
+  AdaptiveRun(fs::FileSystem& f, net::Network& n, AdaptiveTransport::Config c, Topology t)
+      : fs(f), net(n), cfg(std::move(c)), topo(t) {}
+
+  void begin(const IoJob& job);
+  void start_protocol();
+  void execute(Rank from, Actions actions);
+  void deliver(Rank to, const Message& msg);
+  void all_roles_done();
+};
+
+void AdaptiveRun::begin(const IoJob& job) {
+  const std::size_t n = topo.n_writers();
+  const std::size_t g = topo.n_groups();
+  result.transport = "Adaptive";
+  result.t_begin = fs.engine().now();
+  result.total_bytes = job.total_bytes();
+  result.writer_times.resize(n);
+  roles_remaining = n + g + 1;  // writers + SCs + coordinator
+
+  const auto sc_of = [topo = topo](GroupId grp) { return topo.sc_rank(grp); };
+
+  actors.resize(n);
+  for (Rank r = 0; r < static_cast<Rank>(n); ++r) {
+    const GroupId grp = topo.group_of(r);
+    WriterFsm::Config wc;
+    wc.rank = r;
+    wc.group = grp;
+    wc.my_sc = topo.sc_rank(grp);
+    wc.bytes = job.bytes_per_writer[static_cast<std::size_t>(r)];
+    wc.blueprint = job.blueprint_for(r);
+    wc.sc_of = sc_of;
+    actors[static_cast<std::size_t>(r)].writer.emplace(std::move(wc));
+  }
+  for (GroupId grp = 0; grp < static_cast<GroupId>(g); ++grp) {
+    SubCoordinatorFsm::Config sc;
+    sc.group = grp;
+    sc.rank = topo.sc_rank(grp);
+    sc.coordinator = Topology::coordinator_rank();
+    const Rank begin_rank = topo.group_begin(grp);
+    for (std::size_t i = 0; i < topo.group_size(grp); ++i) {
+      sc.members.push_back(begin_rank + static_cast<Rank>(i));
+      sc.member_bytes.push_back(job.bytes_per_writer[static_cast<std::size_t>(begin_rank) + i]);
+    }
+    sc.max_concurrent = cfg.max_concurrent;
+    actors[static_cast<std::size_t>(sc.rank)].sc.emplace(std::move(sc));
+  }
+  {
+    CoordinatorFsm::Config cc;
+    cc.n_groups = g;
+    for (GroupId grp = 0; grp < static_cast<GroupId>(g); ++grp)
+      cc.group_sizes.push_back(topo.group_size(grp));
+    cc.sc_of = sc_of;
+    cc.rank = Topology::coordinator_rank();
+    cc.stealing_enabled = cfg.stealing;
+    cc.steal_source = cfg.steal_most_remaining ? CoordinatorFsm::StealSource::MostRemaining
+                                               : CoordinatorFsm::StealSource::RoundRobin;
+    actors[0].coord.emplace(std::move(cc));
+  }
+
+  // --- file creation --------------------------------------------------------
+  files.resize(g, nullptr);
+  auto ost_of_file = [this](std::size_t file) {
+    if (!cfg.targets.empty()) return cfg.targets[file] % fs.n_osts();
+    return (cfg.first_ost + file) % fs.n_osts();
+  };
+  const std::string base = "adaptive";
+  using OpenMode = AdaptiveTransport::Config::OpenMode;
+  if (cfg.open_mode == OpenMode::Skip) {
+    for (std::size_t f = 0; f < g; ++f)
+      files[f] = &fs.open_immediate(base + "." + std::to_string(f), 1, ost_of_file(f));
+    master = &fs.open_immediate(base + ".midx", 1, cfg.first_ost % fs.n_osts());
+    result.t_open_done = fs.engine().now();
+    start_protocol();
+    return;
+  }
+  opens_remaining = g + 1;
+  auto self = shared_from_this();
+  auto opened = [self](std::size_t slot, fs::StripedFile& file) {
+    if (slot == self->topo.n_groups()) {
+      self->master = &file;
+    } else {
+      self->files[slot] = &file;
+    }
+    if (--self->opens_remaining == 0) {
+      self->result.t_open_done = self->fs.engine().now();
+      self->start_protocol();
+    }
+  };
+  const double gap = cfg.open_mode == OpenMode::Staggered ? cfg.stagger_gap_s : 0.0;
+  for (std::size_t f = 0; f <= g; ++f) {
+    const std::string path = f == g ? base + ".midx" : base + "." + std::to_string(f);
+    const std::size_t ost = f == g ? cfg.first_ost % fs.n_osts() : ost_of_file(f);
+    fs.engine().schedule_after(gap * static_cast<double>(f), [self, path, ost, f, opened] {
+      self->fs.open(path, 1, ost,
+                    [f, opened](fs::StripedFile& file, sim::Time) { opened(f, file); });
+    });
+  }
+}
+
+void AdaptiveRun::start_protocol() {
+  for (GroupId grp = 0; grp < static_cast<GroupId>(topo.n_groups()); ++grp) {
+    const Rank sc_rank = topo.sc_rank(grp);
+    execute(sc_rank, actors[static_cast<std::size_t>(sc_rank)].sc->start());
+  }
+}
+
+void AdaptiveRun::deliver(Rank to, const Message& msg) {
+  RankActor& actor = actors.at(static_cast<std::size_t>(to));
+  struct Visitor {
+    RankActor& actor;
+    Actions operator()(const DoWrite& m) { return actor.writer->on_do_write(m); }
+    Actions operator()(const WriteComplete& m) {
+      if (m.kind == WriteComplete::Kind::WriterDone) return actor.sc->on_write_complete(m);
+      return actor.coord->on_write_complete(m);
+    }
+    Actions operator()(const IndexBody& m) { return actor.sc->on_index_body(m); }
+    Actions operator()(const AdaptiveWriteStart& m) {
+      return actor.sc->on_adaptive_write_start(m);
+    }
+    Actions operator()(const WritersBusy& m) { return actor.coord->on_writers_busy(m); }
+    Actions operator()(const OverallWriteComplete& m) {
+      return actor.sc->on_overall_write_complete(m);
+    }
+    Actions operator()(const SubIndex& m) { return actor.coord->on_sub_index(m); }
+  };
+  execute(to, std::visit(Visitor{actor}, msg.body));
+}
+
+void AdaptiveRun::execute(Rank from, Actions actions) {
+  auto self = shared_from_this();
+  for (auto& action : actions) {
+    if (auto* send = std::get_if<SendAction>(&action)) {
+      const Rank to = send->to;
+      net.send(from, to, send->msg.wire_bytes(),
+               [self, to, msg = std::move(send->msg)] { self->deliver(to, msg); });
+    } else if (const auto* write = std::get_if<StartWriteAction>(&action)) {
+      result.writer_times[static_cast<std::size_t>(from)].start = fs.engine().now();
+      files.at(static_cast<std::size_t>(write->file))
+          ->write(write->offset, write->bytes, data_mode, [self, from](sim::Time now) {
+            self->result.writer_times[static_cast<std::size_t>(from)].end = now;
+            self->execute(
+                from, self->actors[static_cast<std::size_t>(from)].writer->on_write_done());
+          });
+    } else if (const auto* widx = std::get_if<WriteIndexAction>(&action)) {
+      files.at(static_cast<std::size_t>(widx->file))
+          ->write(widx->offset, widx->bytes, fs::Ost::Mode::Durable, [self, from](sim::Time) {
+            self->execute(from,
+                          self->actors[static_cast<std::size_t>(from)].sc->on_index_write_done());
+          });
+    } else if (const auto* gidx = std::get_if<WriteGlobalIndexAction>(&action)) {
+      master->write(0.0, gidx->bytes, fs::Ost::Mode::Durable, [self, from](sim::Time) {
+        self->execute(
+            from, self->actors[static_cast<std::size_t>(from)].coord->on_global_index_write_done());
+      });
+    } else if (std::get_if<RoleDoneAction>(&action)) {
+      if (roles_remaining == 0) throw std::logic_error("AdaptiveRun: role overcompletion");
+      if (--roles_remaining == 0) all_roles_done();
+    }
+  }
+}
+
+void AdaptiveRun::all_roles_done() {
+  result.t_data_done = fs.engine().now();
+  const CoordinatorFsm& coord = *actors[0].coord;
+  result.steals = coord.total_steals();
+  result.grants_issued = coord.grants_issued();
+  result.total_blocks_indexed = coord.global_index().total_blocks();
+  result.global_index = std::make_shared<GlobalIndex>(coord.global_index());
+  result.output_files = files;
+  result.master_file = master;
+
+  if (!cfg.close_via_mds) {
+    result.t_complete = fs.engine().now();
+    on_done(result);
+    return;
+  }
+  auto self = shared_from_this();
+  closes_remaining = files.size() + 1;
+  auto closed = [self](sim::Time now) {
+    if (--self->closes_remaining == 0) {
+      self->result.t_complete = now;
+      self->on_done(self->result);
+    }
+  };
+  for (fs::StripedFile* file : files) fs.close(*file, closed);
+  fs.close(*master, closed);
+}
+
+}  // namespace
+
+void AdaptiveTransport::run(const IoJob& job, std::function<void(IoResult)> on_done) {
+  if (job.n_writers() == 0) throw std::invalid_argument("AdaptiveTransport: empty job");
+  if (net_.n_ranks() < job.n_writers())
+    throw std::invalid_argument("AdaptiveTransport: network has fewer ranks than writers");
+  std::size_t n_files = config_.n_files == 0 ? fs_.n_osts() : config_.n_files;
+  if (!config_.targets.empty()) n_files = config_.targets.size();
+  n_files = std::min(n_files, job.n_writers());
+  if (!config_.targets.empty() && n_files < config_.targets.size()) {
+    AdaptiveTransport::Config trimmed = config_;
+    trimmed.targets.resize(n_files);
+    auto run = std::make_shared<AdaptiveRun>(fs_, net_, trimmed,
+                                             Topology(job.n_writers(), n_files));
+    run->on_done = std::move(on_done);
+    run->begin(job);
+    return;
+  }
+
+  auto run = std::make_shared<AdaptiveRun>(fs_, net_, config_,
+                                           Topology(job.n_writers(), n_files));
+  run->on_done = std::move(on_done);
+  run->begin(job);
+}
+
+}  // namespace aio::core

@@ -1,0 +1,90 @@
+#include "core/transports/readback.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace aio::core {
+
+namespace {
+
+struct RunState {
+  fs::FileSystem& fs;
+  ReadbackConfig cfg;
+  std::shared_ptr<const GlobalIndex> index;
+  std::vector<fs::StripedFile*> files;
+  fs::StripedFile* master;
+  ReadbackResult result;
+  std::function<void(ReadbackResult)> on_done;
+  std::size_t pending = 0;
+
+  explicit RunState(fs::FileSystem& f) : fs(f) {}
+
+  void start_data_reads() {
+    result.t_lookup_done = fs.engine().now();
+    // One read per block, all readers concurrent: reader r loads writer r's
+    // blocks from wherever the adaptive run placed them.
+    for (const FileIndex& fi : index->files()) {
+      fs::StripedFile* file = files.at(static_cast<std::size_t>(fi.file()));
+      for (const BlockRecord& block : fi.blocks()) {
+        ++pending;
+        result.total_bytes += static_cast<double>(block.length);
+        file->read(static_cast<double>(block.file_offset), static_cast<double>(block.length),
+                   [this](sim::Time now) {
+                     ++result.blocks_read;
+                     if (--pending == 0) {
+                       result.t_complete = now;
+                       on_done(result);
+                     }
+                   },
+                   cfg.max_segments);
+      }
+    }
+    if (pending == 0) throw std::logic_error("ReadbackEngine: empty index");
+  }
+};
+
+}  // namespace
+
+void ReadbackEngine::run(std::shared_ptr<const GlobalIndex> index,
+                         std::vector<fs::StripedFile*> files, fs::StripedFile* master,
+                         std::function<void(ReadbackResult)> on_done) {
+  if (!index) throw std::invalid_argument("ReadbackEngine: null index");
+  if (!master) throw std::invalid_argument("ReadbackEngine: null master file");
+
+  auto state = std::make_shared<RunState>(fs_);
+  state->cfg = config_;
+  state->index = std::move(index);
+  state->files = std::move(files);
+  state->master = master;
+  state->result.t_begin = fs_.engine().now();
+  state->on_done = [state, cb = std::move(on_done)](ReadbackResult r) { cb(r); };
+
+  if (config_.lookup == ReadbackConfig::Lookup::GlobalIndex) {
+    // "a single lookup into the index": one metadata op to locate the
+    // master file, one read of its contents.
+    state->result.mds_ops = 1;
+    fs_.mds().submit(fs::MetadataServer::OpKind::Stat, [state](sim::Time) {
+      state->master->read(0.0, static_cast<double>(state->index->serialized_size()),
+                          [state](sim::Time) { state->start_data_reads(); });
+    });
+    return;
+  }
+
+  // Per-file search: every output file is stat'ed and its embedded index
+  // read before any data can move.
+  const std::size_t n_files = state->index->n_files();
+  state->result.mds_ops = n_files;
+  auto remaining = std::make_shared<std::size_t>(n_files);
+  for (const FileIndex& fi : state->index->files()) {
+    fs::StripedFile* file = state->files.at(static_cast<std::size_t>(fi.file()));
+    const double index_bytes = static_cast<double>(fi.serialized_size());
+    fs_.mds().submit(fs::MetadataServer::OpKind::Stat,
+                     [state, file, index_bytes, remaining](sim::Time) {
+                       file->read(0.0, std::max(index_bytes, 1.0), [state, remaining](sim::Time) {
+                         if (--*remaining == 0) state->start_data_reads();
+                       });
+                     });
+  }
+}
+
+}  // namespace aio::core

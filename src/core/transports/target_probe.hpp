@@ -1,0 +1,31 @@
+// History-aware target selection (the paper's future work, Section VI:
+// "more complex and/or state-rich methods for system adaptation, including
+// those that take into account past usage data").
+//
+// The adaptive transport normally takes the first `n_files` storage targets.
+// On a 672-OST system using 512, that wastes a choice: chronically slow or
+// currently loaded targets can be avoided.  `probe_targets` measures every
+// OST with a small durable write — exactly the "past usage data" a
+// production deployment accumulates from previous output steps — and
+// `rank_targets` picks the fastest subset for AdaptiveTransport::Config::
+// targets.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "fs/filesystem.hpp"
+
+namespace aio::core {
+
+/// Issues one `probe_bytes` durable write to every OST concurrently and
+/// reports each target's service time.  Drive the engine to completion.
+void probe_targets(fs::FileSystem& filesystem, double probe_bytes,
+                   std::function<void(std::vector<double> seconds)> on_done);
+
+/// Indices of the `n` fastest targets (ascending probe time, ties by index).
+[[nodiscard]] std::vector<std::size_t> rank_targets(const std::vector<double>& seconds,
+                                                    std::size_t n);
+
+}  // namespace aio::core

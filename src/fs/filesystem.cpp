@@ -1,0 +1,170 @@
+#include "fs/filesystem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace aio::fs {
+
+StripedFile::StripedFile(FileSystem& fs, std::string path, std::vector<std::size_t> targets,
+                         double stripe_size)
+    : fs_(fs), path_(std::move(path)), targets_(std::move(targets)), stripe_size_(stripe_size) {
+  if (targets_.empty()) throw std::invalid_argument("StripedFile: no targets");
+  if (stripe_size_ <= 0.0) throw std::invalid_argument("StripedFile: stripe size must be > 0");
+}
+
+std::size_t StripedFile::target_of(double offset) const {
+  const auto stripe = static_cast<std::uint64_t>(std::floor(offset / stripe_size_));
+  return targets_[stripe % targets_.size()];
+}
+
+void StripedFile::write(double offset, double bytes, Ost::Mode mode, OnComplete on_complete,
+                        std::size_t max_segments) {
+  if (bytes <= 0.0) throw std::invalid_argument("StripedFile::write: bytes must be > 0");
+  if (offset < 0.0) throw std::invalid_argument("StripedFile::write: negative offset");
+  if (max_segments == 0) max_segments = 1;
+
+  // Walk the range stripe by stripe, coalescing runs that land on the same
+  // target (always the case for single-target files).
+  std::vector<std::pair<std::size_t, double>> segments;  // (ost index, bytes)
+  const double n_stripes = std::ceil((offset + bytes) / stripe_size_) -
+                           std::floor(offset / stripe_size_);
+  if (targets_.size() == 1 || n_stripes <= 1.0) {
+    segments.emplace_back(target_of(offset), bytes);
+  } else {
+    // Bound the chain length: split the range into at most `max_segments`
+    // equal pieces and charge each piece to the target of its first byte.
+    const auto pieces = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(max_segments), n_stripes));
+    const double piece = bytes / static_cast<double>(pieces);
+    for (std::size_t i = 0; i < pieces; ++i) {
+      const std::size_t tgt = target_of(offset + piece * static_cast<double>(i));
+      if (!segments.empty() && segments.back().first == tgt) {
+        segments.back().second += piece;
+      } else {
+        segments.emplace_back(tgt, piece);
+      }
+    }
+  }
+  write_chain(std::move(segments), 0, mode, std::move(on_complete));
+}
+
+void StripedFile::read(double offset, double bytes, OnComplete on_complete,
+                       std::size_t max_segments) {
+  if (bytes <= 0.0) throw std::invalid_argument("StripedFile::read: bytes must be > 0");
+  if (offset < 0.0) throw std::invalid_argument("StripedFile::read: negative offset");
+  if (max_segments == 0) max_segments = 1;
+  // Same stripe walk as write(), but issued as read ops.
+  const double n_stripes =
+      std::ceil((offset + bytes) / stripe_size_) - std::floor(offset / stripe_size_);
+  std::vector<std::pair<std::size_t, double>> segments;
+  if (targets_.size() == 1 || n_stripes <= 1.0) {
+    segments.emplace_back(target_of(offset), bytes);
+  } else {
+    const auto pieces = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(max_segments), n_stripes));
+    const double piece = bytes / static_cast<double>(pieces);
+    for (std::size_t i = 0; i < pieces; ++i) {
+      const std::size_t tgt = target_of(offset + piece * static_cast<double>(i));
+      if (!segments.empty() && segments.back().first == tgt) {
+        segments.back().second += piece;
+      } else {
+        segments.emplace_back(tgt, piece);
+      }
+    }
+  }
+  // Sequential chain, like a client streaming through the file.
+  auto chain = std::make_shared<std::function<void(std::size_t)>>();
+  *chain = [this, segments = std::move(segments), on_complete = std::move(on_complete),
+            chain](std::size_t next) mutable {
+    if (next >= segments.size()) {
+      if (on_complete) on_complete(fs_.engine().now());
+      *chain = nullptr;  // break the self-reference cycle
+      return;
+    }
+    const auto [target, seg_bytes] = segments[next];
+    fs_.ost(target).read(seg_bytes, [chain, next](sim::Time) { (*chain)(next + 1); });
+  };
+  (*chain)(0);
+}
+
+void StripedFile::write_chain(std::vector<std::pair<std::size_t, double>> segments,
+                              std::size_t next, Ost::Mode mode, OnComplete on_complete) {
+  if (next >= segments.size()) {
+    if (on_complete) on_complete(fs_.engine().now());
+    return;
+  }
+  const auto [target, bytes] = segments[next];
+  fs_.ost(target).write(
+      bytes, mode,
+      [this, segments = std::move(segments), next, mode,
+       on_complete = std::move(on_complete)](sim::Time) mutable {
+        write_chain(std::move(segments), next + 1, mode, std::move(on_complete));
+      });
+}
+
+void StripedFile::flush(OnComplete on_complete) {
+  auto remaining = std::make_shared<std::size_t>(targets_.size());
+  for (const std::size_t t : targets_) {
+    fs_.ost(t).flush([remaining, on_complete](sim::Time now) {
+      if (--*remaining == 0 && on_complete) on_complete(now);
+    });
+  }
+}
+
+FileSystem::FileSystem(sim::Engine& engine, FsConfig config)
+    : engine_(engine), config_(config), mds_(engine, config.mds), fabric_(config.fabric_bw) {
+  if (config_.n_osts == 0) throw std::invalid_argument("FileSystem: need at least one OST");
+  osts_.reserve(config_.n_osts);
+  for (std::size_t i = 0; i < config_.n_osts; ++i) {
+    osts_.push_back(std::make_unique<Ost>(engine_, config_.ost, static_cast<int>(i)));
+    fabric_.attach(*osts_.back());
+  }
+}
+
+std::vector<Ost*> FileSystem::ost_pointers() {
+  std::vector<Ost*> out;
+  out.reserve(osts_.size());
+  for (auto& o : osts_) out.push_back(o.get());
+  return out;
+}
+
+StripedFile& FileSystem::make_file(std::string path, std::size_t stripe_count,
+                                   std::size_t first_ost, double stripe_size) {
+  stripe_count = std::clamp<std::size_t>(stripe_count, 1,
+                                         std::min(config_.stripe_limit, osts_.size()));
+  if (stripe_size <= 0.0) stripe_size = config_.default_stripe_size;
+  std::vector<std::size_t> targets;
+  targets.reserve(stripe_count);
+  for (std::size_t i = 0; i < stripe_count; ++i) targets.push_back((first_ost + i) % osts_.size());
+  files_.push_back(std::unique_ptr<StripedFile>(
+      new StripedFile(*this, std::move(path), std::move(targets), stripe_size)));
+  return *files_.back();
+}
+
+void FileSystem::open(std::string path, std::size_t stripe_count, std::size_t first_ost,
+                      OpenCallback on_open, double stripe_size) {
+  StripedFile& file = make_file(std::move(path), stripe_count, first_ost, stripe_size);
+  mds_.submit(MetadataServer::OpKind::Open, [&file, on_open = std::move(on_open)](sim::Time now) {
+    if (on_open) on_open(file, now);
+  });
+}
+
+StripedFile& FileSystem::open_immediate(std::string path, std::size_t stripe_count,
+                                        std::size_t first_ost, double stripe_size) {
+  return make_file(std::move(path), stripe_count, first_ost, stripe_size);
+}
+
+void FileSystem::close(StripedFile& file, OnComplete on_complete) {
+  (void)file;
+  mds_.submit(MetadataServer::OpKind::Close, std::move(on_complete));
+}
+
+double FileSystem::total_bytes_submitted() const {
+  double total = 0.0;
+  for (const auto& o : osts_) total += o->bytes_submitted();
+  return total;
+}
+
+}  // namespace aio::fs

@@ -1,0 +1,122 @@
+// Parallel file system: OSTs + metadata server + fabric + striped files.
+//
+// Mirrors the structure of the Lustre scratch systems in the paper: a file
+// is striped round-robin over a subset of the storage targets, a single
+// metadata server brokers opens/closes, and the storage fabric caps the
+// aggregate bandwidth.  The Lustre 1.6 limit the paper works around — at
+// most 160 storage targets for a single file — is enforced here and is what
+// handicaps the shared-file MPI-IO baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fs/fabric.hpp"
+#include "fs/mds.hpp"
+#include "fs/ost.hpp"
+#include "sim/engine.hpp"
+
+namespace aio::fs {
+
+struct FsConfig {
+  std::size_t n_osts = 672;
+  Ost::Config ost;
+  double fabric_bw = 75e9;        ///< aggregate storage-network cap; 0 = none
+  MetadataServer::Config mds;
+  std::size_t stripe_limit = 160; ///< max OSTs for a single file (Lustre 1.6)
+  double default_stripe_size = 4.0 * (1 << 20);
+};
+
+class FileSystem;
+
+/// A file striped over a fixed list of storage targets.  A contiguous write
+/// walks its byte range through the stripes in file order (the access
+/// pattern of a POSIX/MPI-IO writer), issuing one OST write per contiguous
+/// per-target segment, chained sequentially as a real client would.
+class StripedFile {
+ public:
+  using OnComplete = std::function<void(sim::Time)>;
+
+  /// Writes `bytes` at `offset`.  `max_segments` bounds the chain length for
+  /// ranges spanning many stripes (coalescing adjacent stripes).
+  void write(double offset, double bytes, Ost::Mode mode, OnComplete on_complete,
+             std::size_t max_segments = 16);
+
+  /// Durable barrier over every stripe target of this file.
+  void flush(OnComplete on_complete);
+
+  /// Reads `bytes` at `offset`, walking the stripes like write() does.
+  void read(double offset, double bytes, OnComplete on_complete,
+            std::size_t max_segments = 16);
+
+  [[nodiscard]] std::size_t stripe_count() const { return targets_.size(); }
+  [[nodiscard]] double stripe_size() const { return stripe_size_; }
+  [[nodiscard]] const std::vector<std::size_t>& targets() const { return targets_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Index of the OST holding byte `offset`.
+  [[nodiscard]] std::size_t target_of(double offset) const;
+
+ private:
+  friend class FileSystem;
+  StripedFile(FileSystem& fs, std::string path, std::vector<std::size_t> targets,
+              double stripe_size);
+
+  void write_chain(std::vector<std::pair<std::size_t, double>> segments, std::size_t next,
+                   Ost::Mode mode, OnComplete on_complete);
+
+  FileSystem& fs_;
+  std::string path_;
+  std::vector<std::size_t> targets_;  // OST indices, stripe order
+  double stripe_size_;
+};
+
+class FileSystem {
+ public:
+  using OpenCallback = std::function<void(StripedFile&, sim::Time)>;
+  using OnComplete = std::function<void(sim::Time)>;
+
+  FileSystem(sim::Engine& engine, FsConfig config);
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const FsConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t n_osts() const { return osts_.size(); }
+  [[nodiscard]] Ost& ost(std::size_t i) { return *osts_.at(i); }
+  [[nodiscard]] MetadataServer& mds() { return mds_; }
+  [[nodiscard]] FabricGovernor& fabric() { return fabric_; }
+  [[nodiscard]] std::vector<Ost*> ost_pointers();
+
+  /// Opens (creates) a file through the metadata server.  `stripe_count` is
+  /// clamped to the per-file stripe limit; `first_ost` mimics Lustre's
+  /// stripe-offset control used to pin files to specific targets.
+  /// The file reference stays valid for the life of the FileSystem.
+  void open(std::string path, std::size_t stripe_count, std::size_t first_ost,
+            OpenCallback on_open, double stripe_size = 0.0);
+
+  /// Synchronous variant for callers that handle metadata timing themselves
+  /// (the paper's Section II measurements exclude open/close entirely).
+  StripedFile& open_immediate(std::string path, std::size_t stripe_count, std::size_t first_ost,
+                              double stripe_size = 0.0);
+
+  /// Closes a file through the metadata server.
+  void close(StripedFile& file, OnComplete on_complete);
+
+  /// Total bytes accepted by all OSTs (conservation checks in tests).
+  [[nodiscard]] double total_bytes_submitted() const;
+
+ private:
+  StripedFile& make_file(std::string path, std::size_t stripe_count, std::size_t first_ost,
+                         double stripe_size);
+
+  sim::Engine& engine_;
+  FsConfig config_;
+  std::vector<std::unique_ptr<Ost>> osts_;
+  MetadataServer mds_;
+  FabricGovernor fabric_;
+  std::vector<std::unique_ptr<StripedFile>> files_;
+};
+
+}  // namespace aio::fs

@@ -1,0 +1,135 @@
+#include "fs/interference.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace aio::fs {
+
+BackgroundLoad::Config BackgroundLoad::production_heavy() {
+  Config c;
+  c.mean_load = 0.38;
+  c.local_cv = 1.20;
+  c.local_period_s = 120.0;
+  c.global_cv = 1.00;
+  c.global_period_s = 900.0;
+  c.slow_fraction = 0.03;
+  c.slow_extra = 0.30;
+  c.max_load = 0.83;
+  return c;
+}
+
+BackgroundLoad::Config BackgroundLoad::production_moderate() {
+  Config c;
+  c.mean_load = 0.36;
+  c.local_cv = 0.90;
+  c.local_period_s = 180.0;
+  c.global_cv = 0.85;
+  c.global_period_s = 1200.0;
+  c.slow_fraction = 0.02;
+  c.slow_extra = 0.30;
+  c.max_load = 0.83;
+  return c;
+}
+
+BackgroundLoad::Config BackgroundLoad::quiet() {
+  Config c;
+  c.mean_load = 0.05;
+  c.local_cv = 0.8;
+  c.local_period_s = 300.0;
+  c.global_cv = 0.4;
+  c.global_period_s = 1800.0;
+  c.slow_fraction = 0.0;
+  c.slow_extra = 0.0;
+  c.max_load = 0.50;
+  return c;
+}
+
+BackgroundLoad::BackgroundLoad(sim::Engine& engine, sim::Rng rng, Config config,
+                               std::vector<Ost*> osts)
+    : engine_(engine), rng_(rng), config_(config), osts_(std::move(osts)) {
+  local_.assign(osts_.size(), 1.0);
+  clamp_.assign(osts_.size(), config_.max_load);
+  chronic_.assign(osts_.size(), 0.0);
+  sim::Rng chronic_rng = rng_.fork(0x6368726F);  // independent of the resamplers
+  for (std::size_t i = 0; i < osts_.size(); ++i) {
+    if (chronic_rng.bernoulli(config_.slow_fraction)) chronic_[i] = config_.slow_extra;
+  }
+}
+
+void BackgroundLoad::start() {
+  if (started_ || config_.mean_load <= 0.0 || osts_.empty()) return;
+  started_ = true;
+  resample_global();
+  for (std::size_t i = 0; i < osts_.size(); ++i) resample_local(i);
+}
+
+double BackgroundLoad::current_load(std::size_t ost_idx) const {
+  assert(ost_idx < osts_.size());
+  const double load = config_.mean_load * global_ * local_[ost_idx] + chronic_[ost_idx];
+  return std::clamp(load, 0.0, clamp_[ost_idx]);
+}
+
+void BackgroundLoad::resample_global() {
+  global_ = rng_.lognormal_mean_cv(1.0, config_.global_cv);
+  for (std::size_t i = 0; i < osts_.size(); ++i) apply(i);
+  engine_.schedule_daemon_after(rng_.exponential(config_.global_period_s),
+                                [this] { resample_global(); });
+}
+
+void BackgroundLoad::resample_local(std::size_t idx) {
+  local_[idx] = rng_.lognormal_mean_cv(1.0, config_.local_cv);
+  clamp_[idx] = std::min(
+      0.90, config_.max_load * rng_.uniform(config_.clamp_jitter_lo, config_.clamp_jitter_hi));
+  apply(idx);
+  engine_.schedule_daemon_after(rng_.exponential(config_.local_period_s),
+                                [this, idx] { resample_local(idx); });
+}
+
+void BackgroundLoad::apply(std::size_t idx) {
+  // Shared OST servers lose network and disk headroom together: foreign
+  // traffic occupies the same server threads, links and spindles.
+  const double load = current_load(idx);
+  osts_[idx]->set_load(load, load);
+}
+
+InterferenceJob::InterferenceJob(sim::Engine& engine, Config config, std::vector<Ost*> osts,
+                                 std::size_t first_ost)
+    : engine_(engine), config_(config), osts_(std::move(osts)), first_ost_(first_ost) {
+  if (osts_.empty()) throw std::invalid_argument("InterferenceJob: no OSTs");
+  inflight_.assign(config_.n_osts * config_.writers_per_ost, 0);
+}
+
+void InterferenceJob::start() {
+  if (running_) return;
+  running_ = true;
+  ++epoch_;
+  for (std::size_t s = 0; s < inflight_.size(); ++s) issue(s);
+}
+
+void InterferenceJob::stop() {
+  if (!running_) return;
+  running_ = false;
+  ++epoch_;  // orphan any completion callbacks still in flight
+  for (std::size_t s = 0; s < inflight_.size(); ++s) {
+    if (inflight_[s] != 0) {
+      Ost& ost = *osts_[(first_ost_ + s / config_.writers_per_ost) % osts_.size()];
+      ost.abort(inflight_[s]);
+      inflight_[s] = 0;
+    }
+  }
+}
+
+void InterferenceJob::issue(std::size_t stream) {
+  Ost& ost = *osts_[(first_ost_ + stream / config_.writers_per_ost) % osts_.size()];
+  const std::uint64_t epoch = epoch_;
+  inflight_[stream] =
+      ost.write(config_.bytes_per_write, Ost::Mode::Durable, [this, stream, epoch](sim::Time) {
+        if (!running_ || epoch != epoch_) return;
+        ++completed_;
+        inflight_[stream] = 0;
+        issue(stream);  // "writes 1 GB continuously"
+      });
+}
+
+}  // namespace aio::fs

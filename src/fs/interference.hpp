@@ -1,0 +1,116 @@
+// External-interference models.
+//
+// Two mechanisms reproduce the paper's *external interference*:
+//
+// 1. `BackgroundLoad` — the statistical fingerprint of a busy production
+//    file system (other batch jobs, analysis clusters reading the shared
+//    scratch space).  Every OST carries a load level in [0,1) that is the
+//    product of a slowly varying *global* system load and a faster varying
+//    *local* per-OST component, plus a small set of chronically slow OSTs
+//    (NERSC reported a few persistently slow targets dominating IO time).
+//    Load levels are resampled at exponentially distributed intervals on
+//    minute timescales, which is what makes two samples taken minutes apart
+//    look completely different (the paper's Fig. 3: imbalance factor 3.44 vs
+//    1.56 three minutes later).  Resampling runs on daemon events, so it
+//    never keeps a simulation alive.
+//
+// 2. `InterferenceJob` — the paper's Section IV artificial interference
+//    generator: "Three processes each write 1 GB continuously to a single
+//    storage target, for a total of 24 processes" against a file striped
+//    over 8 OSTs.  Implemented as real write traffic on the simulated OSTs,
+//    so it competes for cache, network, and disk exactly like a second
+//    application would.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fs/ost.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace aio::fs {
+
+class BackgroundLoad {
+ public:
+  struct Config {
+    double mean_load = 0.0;        ///< long-run mean per-OST load; 0 disables
+    double local_cv = 0.8;         ///< dispersion of the per-OST component
+    double local_period_s = 120;   ///< mean seconds between per-OST resamples
+    double global_cv = 0.5;        ///< dispersion of the system-wide component
+    double global_period_s = 900;  ///< mean seconds between global resamples
+    double slow_fraction = 0.02;   ///< chronically slow OSTs
+    double slow_extra = 0.35;      ///< additional load on chronic OSTs
+    double max_load = 0.93;        ///< clamp: an OST never fully stalls
+    /// The clamp itself varies per OST per resample (real interference
+    /// bursts differ in severity): effective clamp = max_load * U(lo, hi),
+    /// capped at 0.96.
+    double clamp_jitter_lo = 0.60;
+    double clamp_jitter_hi = 1.06;
+  };
+
+  /// Presets matching the paper's three environments.
+  static Config production_heavy();    ///< Jaguar-class busy shared scratch
+  static Config production_moderate(); ///< Franklin-class production
+  static Config quiet();               ///< XTP without interference
+
+  BackgroundLoad(sim::Engine& engine, sim::Rng rng, Config config, std::vector<Ost*> osts);
+
+  /// Starts the resampling daemons.  Idempotent.
+  void start();
+
+  [[nodiscard]] double global_load() const { return global_; }
+  [[nodiscard]] double current_load(std::size_t ost_idx) const;
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  void resample_global();
+  void resample_local(std::size_t idx);
+  void apply(std::size_t idx);
+
+  sim::Engine& engine_;
+  sim::Rng rng_;
+  Config config_;
+  std::vector<Ost*> osts_;
+  std::vector<double> local_;    // per-OST multiplicative component
+  std::vector<double> clamp_;    // per-OST effective load ceiling
+  std::vector<double> chronic_;  // per-OST additive chronic load
+  double global_ = 1.0;
+  bool started_ = false;
+};
+
+class InterferenceJob {
+ public:
+  struct Config {
+    std::size_t n_osts = 8;           ///< stripe width of the interfering file
+    std::size_t writers_per_ost = 3;  ///< concurrent streams per target
+    double bytes_per_write = 1e9;     ///< 1 GB, rewritten continuously
+  };
+
+  /// The job writes to `osts[first_ost .. first_ost + n_osts)` (mod size).
+  InterferenceJob(sim::Engine& engine, Config config, std::vector<Ost*> osts,
+                  std::size_t first_ost = 0);
+
+  void start();
+  /// Stops the job and aborts all in-flight writes.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t completed_writes() const { return completed_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  void issue(std::size_t stream);
+
+  sim::Engine& engine_;
+  Config config_;
+  std::vector<Ost*> osts_;
+  std::size_t first_ost_;
+  std::vector<Ost::OpId> inflight_;  // per stream; 0 = none
+  bool running_ = false;
+  std::uint64_t completed_ = 0;
+  std::uint64_t epoch_ = 0;  // invalidates callbacks from a previous start()
+};
+
+}  // namespace aio::fs

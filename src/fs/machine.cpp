@@ -1,0 +1,90 @@
+#include "fs/machine.hpp"
+
+namespace aio::fs {
+
+MachineSpec jaguar() {
+  MachineSpec m;
+  m.name = "Jaguar";
+  m.nodes = 18680;
+  m.cores_per_node = 12;
+  m.nic_bw = 2.0e9;
+
+  m.fs.n_osts = 672;
+  m.fs.fabric_bw = 75e9;
+  m.fs.stripe_limit = 160;
+  m.fs.default_stripe_size = 4.0 * (1 << 20);
+
+  m.fs.ost.disk_bw = 180e6;
+  m.fs.ost.cache_bytes = 2e9;
+  m.fs.ost.ingest_bw = 260e6;
+  m.fs.ost.per_stream_cap = 260e6;
+  m.fs.ost.alpha = 0.035;
+  m.fs.ost.eff_floor = 0.50;
+  m.fs.ost.op_latency_s = 0.012;
+
+  m.fs.mds.open_base_s = 0.6e-3;
+  m.fs.mds.close_base_s = 0.25e-3;
+  m.fs.mds.queue_penalty = 0.004;
+
+  m.load = BackgroundLoad::production_heavy();
+  return m;
+}
+
+MachineSpec franklin() {
+  MachineSpec m;
+  m.name = "Franklin";
+  m.nodes = 9532;
+  m.cores_per_node = 4;
+  m.nic_bw = 1.2e9;
+
+  m.fs.n_osts = 96;
+  m.fs.fabric_bw = 14e9;
+  m.fs.stripe_limit = 96;
+  m.fs.default_stripe_size = 4.0 * (1 << 20);
+
+  m.fs.ost.disk_bw = 160e6;
+  m.fs.ost.cache_bytes = 1e9;
+  m.fs.ost.ingest_bw = 240e6;
+  m.fs.ost.per_stream_cap = 240e6;
+  m.fs.ost.alpha = 0.05;
+  m.fs.ost.eff_floor = 0.40;
+
+  m.fs.mds.open_base_s = 0.8e-3;
+  m.fs.mds.close_base_s = 0.3e-3;
+  m.fs.mds.queue_penalty = 0.005;
+
+  m.load = BackgroundLoad::production_moderate();
+  return m;
+}
+
+MachineSpec xtp() {
+  MachineSpec m;
+  m.name = "XTP";
+  m.nodes = 160;
+  m.cores_per_node = 12;
+  m.nic_bw = 2.0e9;
+
+  m.fs.n_osts = 40;  // StorageBlades
+  m.fs.fabric_bw = 9e9;
+  // PanFS distributes a file across all blades; no Lustre-style 160 limit.
+  m.fs.stripe_limit = 40;
+  m.fs.default_stripe_size = 4.0 * (1 << 20);
+
+  m.fs.ost.disk_bw = 200e6;
+  m.fs.ost.cache_bytes = 1e9;
+  m.fs.ost.ingest_bw = 500e6;
+  m.fs.ost.per_stream_cap = 250e6;
+  // The paper saw < 5% degradation on XTP even at 1024 writers: the small
+  // machine (and PanFS object layout) keeps contention mild.
+  m.fs.ost.alpha = 0.01;
+  m.fs.ost.eff_floor = 0.60;
+
+  m.fs.mds.open_base_s = 0.4e-3;
+  m.fs.mds.close_base_s = 0.2e-3;
+  m.fs.mds.queue_penalty = 0.002;
+
+  m.load = BackgroundLoad::quiet();
+  return m;
+}
+
+}  // namespace aio::fs

@@ -1,0 +1,46 @@
+// Machine presets for the paper's three testbeds.
+//
+// Calibration sources (Section II of the paper):
+//  * Jaguar  — Cray XT5, 18,680 nodes x 12 cores, Lustre 1.6 scratch with 672
+//              OSTs / 10 PB; ~180 MB/s per OST nominal, ~60 GB/s practical
+//              aggregate (up to ~90 GB/s with optimal network organization);
+//              2 GB per-OST write cache; 160-OST single-file stripe limit.
+//  * Franklin — Cray XT4, 38,128 cores, Lustre with 96 OSTs / 436 TB.
+//  * XTP     — Cray XT5, 160 nodes x 12 cores, PanFS with 40 StorageBlades /
+//              61 TB; no single-file stripe limit of the Lustre kind; small
+//              machine, hence little internal contention.
+//
+// Absolute rates are model parameters, not measurements; EXPERIMENTS.md
+// compares shapes, not absolute numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "fs/filesystem.hpp"
+#include "fs/interference.hpp"
+
+namespace aio::fs {
+
+struct MachineSpec {
+  std::string name;
+  FsConfig fs;
+  std::size_t nodes = 0;
+  std::size_t cores_per_node = 12;
+  double nic_bw = 2.0e9;           ///< per-node injection bandwidth, bytes/s
+  double msg_latency_s = 8e-6;     ///< interconnect point-to-point latency
+  BackgroundLoad::Config load;     ///< production background interference
+
+  [[nodiscard]] std::size_t total_cores() const { return nodes * cores_per_node; }
+};
+
+/// ORNL Jaguar XT5 + 672-OST shared Lustre scratch (busy production).
+MachineSpec jaguar();
+
+/// NERSC Franklin XT4 + 96-OST Lustre (production).
+MachineSpec franklin();
+
+/// Sandia XTP + PanFS, 40 StorageBlades (non-production, quiet by default).
+MachineSpec xtp();
+
+}  // namespace aio::fs

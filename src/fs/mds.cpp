@@ -1,0 +1,33 @@
+#include "fs/mds.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace aio::fs {
+
+void MetadataServer::submit(OpKind kind, OnComplete on_complete) {
+  queue_.push_back(Request{kind, std::move(on_complete)});
+  peak_backlog_ = std::max(peak_backlog_, backlog());
+  if (!busy_) dispatch();
+}
+
+void MetadataServer::dispatch() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+  const double service =
+      base_time(req.kind) * (1.0 + config_.queue_penalty * static_cast<double>(queue_.size()));
+  engine_.schedule_after(service, [this, req = std::move(req)]() mutable {
+    ++completed_;
+    // Dispatch the next request before running the callback so a callback
+    // that submits more work observes an idle-or-busy server consistently.
+    dispatch();
+    if (req.on_complete) req.on_complete(engine_.now());
+  });
+}
+
+}  // namespace aio::fs

@@ -1,0 +1,300 @@
+#include "fs/ost.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace aio::fs {
+
+namespace {
+constexpr double kEps = 1e-6;  // byte-scale tolerance for crossings/completions
+// Residual work that finishes in under this long at the current rate counts
+// as done; prevents sub-ulp reschedule livelocks.
+constexpr double kEpsSeconds = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Ost::Ost(sim::Engine& engine, Config config, int index)
+    : engine_(engine), config_(config), index_(index), last_update_(engine.now()) {
+  if (config_.disk_bw <= 0.0 || config_.ingest_bw <= 0.0)
+    throw std::invalid_argument("Ost: bandwidths must be > 0");
+  if (config_.cache_bytes < 0.0 || config_.alpha < 0.0 || config_.per_stream_cap < 0.0)
+    throw std::invalid_argument("Ost: negative parameter");
+}
+
+Ost::~Ost() {
+  if (pending_.valid()) engine_.cancel(pending_);
+}
+
+double Ost::cache_occupancy() const {
+  const double dt = engine_.now() - last_update_;
+  double q = std::max(0.0, orphan_ - orphan_outflow_ * dt);
+  for (const auto& [id, op] : ops_) {
+    if (op.is_read) continue;  // reads use no write-cache space
+    q += std::max(0.0, op.dirty + (op.inflow - op.outflow) * dt);
+  }
+  return q;
+}
+
+double Ost::cum_ingested() const {
+  return cum_in_ + rate_in_ * (engine_.now() - last_update_);
+}
+
+double Ost::cum_drained() const {
+  return cum_drained_ + rate_drain_ * (engine_.now() - last_update_);
+}
+
+Ost::OpId Ost::write(double bytes, Mode mode, OnComplete on_complete) {
+  if (bytes <= 0.0) throw std::invalid_argument("Ost::write: bytes must be > 0");
+  advance();
+  const OpId id = next_id_++;
+  ops_.emplace(id, Op{bytes, 0.0, 0.0, mode, false, std::move(on_complete)});
+  bytes_submitted_ += bytes;
+  recompute();
+  return id;
+}
+
+Ost::OpId Ost::read(double bytes, OnComplete on_complete) {
+  if (bytes <= 0.0) throw std::invalid_argument("Ost::read: bytes must be > 0");
+  advance();
+  const OpId id = next_id_++;
+  Op op{bytes, bytes, bytes, Mode::Durable, true, std::move(on_complete)};
+  ops_.emplace(id, std::move(op));
+  bytes_read_requested_ += bytes;
+  recompute();
+  return id;
+}
+
+Ost::OpId Ost::flush(OnComplete on_complete) {
+  advance();
+  const OpId id = next_id_++;
+  flushes_.push_back(Flush{id, std::move(on_complete)});
+  recompute();
+  return id;
+}
+
+bool Ost::abort(OpId id) {
+  advance();
+  if (const auto it = ops_.find(id); it != ops_.end()) {
+    orphan_ += it->second.dirty;  // in-cache bytes still have to drain
+    ops_.erase(it);
+    recompute();
+    return true;
+  }
+  for (auto it = flushes_.begin(); it != flushes_.end(); ++it) {
+    if (it->id == id) {
+      flushes_.erase(it);
+      recompute();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Ost::set_fabric_factor(double factor) {
+  if (factor < 0.0) throw std::invalid_argument("Ost: negative fabric factor");
+  advance();
+  fabric_factor_ = factor;
+  recompute();
+}
+
+void Ost::set_load(double net_load, double disk_load) {
+  if (net_load < 0.0 || net_load >= 1.0 || disk_load < 0.0 || disk_load >= 1.0)
+    throw std::invalid_argument("Ost: load must lie in [0, 1)");
+  advance();
+  net_load_ = net_load;
+  disk_load_ = disk_load;
+  recompute();
+}
+
+void Ost::advance() {
+  const sim::Time now = engine_.now();
+  const double dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0.0) return;
+
+  double drained = std::min(orphan_, orphan_outflow_ * dt);
+  orphan_ -= drained;
+  double ingested = 0.0;
+  for (auto& [id, op] : ops_) {
+    const double in = std::min(op.inflow * dt, op.bytes - op.ingested);
+    op.ingested += in;
+    if (!op.is_read) ingested += in;
+    const double out = std::min(op.outflow * dt, op.dirty + in);
+    op.dirty = std::max(0.0, op.dirty + in - out);
+    if (!op.is_read) drained += out;
+  }
+  cum_in_ += ingested;
+  cum_drained_ += drained;
+}
+
+void Ost::recompute() {
+  // --- classify entities ------------------------------------------------------
+  std::size_t n_ingest = 0;  // ops actively moving bytes into the cache
+  std::size_t m_dirty = 0;   // dirty streams sharing (and penalizing) the drain
+  double q = orphan_;
+  for (const auto& [id, op] : ops_) {
+    if (!op.fully_ingested()) ++n_ingest;
+    if (!op.fully_ingested() || op.dirty > kEps) ++m_dirty;
+    if (!op.is_read) q += op.dirty;  // reads use no write-cache space
+  }
+  const bool orphan_active = orphan_ > kEps;
+  if (orphan_active) ++m_dirty;
+
+  const double net_total = config_.ingest_bw * fabric_factor_ * (1.0 - net_load_);
+  const double disk_total =
+      config_.disk_bw * (1.0 - disk_load_) * efficiency(std::max<std::size_t>(m_dirty, 1));
+  const double share = m_dirty > 0 ? disk_total / static_cast<double>(m_dirty) : disk_total;
+  const bool cache_full = q >= config_.cache_bytes - kEps;
+
+  double r = 0.0;
+  if (n_ingest > 0 && net_total > 0.0) {
+    r = net_total / static_cast<double>(n_ingest);
+    if (config_.per_stream_cap > 0.0) r = std::min(r, config_.per_stream_cap);
+  }
+
+  // --- assign per-entity rates ------------------------------------------------
+  rate_in_ = 0.0;
+  rate_drain_ = 0.0;
+  orphan_outflow_ = orphan_active ? share : 0.0;
+  rate_drain_ += orphan_outflow_;
+  for (auto& [id, op] : ops_) {
+    op.inflow = op.fully_ingested() ? 0.0 : r;
+    // A full cache throttles each stream's ingest to its own drain share.
+    if (cache_full && op.inflow > share) op.inflow = share;
+    op.outflow = (op.dirty > kEps) ? share : std::min(op.inflow, share);
+    rate_in_ += op.inflow;
+    rate_drain_ += op.outflow;
+  }
+
+  // --- activity hook ------------------------------------------------------------
+  // Delivered through a zero-delay event: the hook typically calls back into
+  // set_fabric_factor(), which must not run while this recompute is active.
+  const bool active = n_ingest > 0;
+  if (active != was_active_) {
+    was_active_ = active;
+    if (activity_hook_) {
+      engine_.schedule_after(0.0, [hook = activity_hook_, active] { hook(active); });
+    }
+  }
+
+  // --- find the next state-changing instant --------------------------------------
+  double dt = kInf;
+  bool immediate = false;
+  for (const auto& [id, op] : ops_) {
+    if (!op.fully_ingested()) {
+      const double left = op.bytes - op.ingested;
+      const double ingest_eps = kEps + op.inflow * kEpsSeconds;
+      if (left <= ingest_eps) {
+        immediate = true;
+      } else if (op.inflow > 0.0) {
+        dt = std::min(dt, left / op.inflow);
+      }
+      // An op mid-ingest whose dirty pool empties switches outflow mode.
+      if (op.dirty > kEps && op.outflow > op.inflow + kEps)
+        dt = std::min(dt, op.dirty / (op.outflow - op.inflow));
+      continue;
+    }
+    // Fully ingested: cached ops complete now; durable ops complete when
+    // their dirty bytes are gone.
+    const double drain_eps = kEps + op.outflow * kEpsSeconds;
+    if (op.mode == Mode::Cached) {
+      immediate = true;
+    } else if (op.dirty <= drain_eps) {
+      immediate = true;
+    } else if (op.outflow > kEps) {
+      dt = std::min(dt, op.dirty / op.outflow);
+    }
+  }
+  if (orphan_active && orphan_outflow_ > 0.0) {
+    // Orphan exhaustion changes the share structure (and gates flushes).
+    dt = std::min(dt, orphan_ / orphan_outflow_);
+  }
+  if (!flushes_.empty() && flush_ready()) immediate = true;
+  // Cache-full crossing throttles every ingest to its drain share.
+  const double net_flow = rate_in_ - rate_drain_;
+  if (!cache_full && net_flow > kEps && q < config_.cache_bytes)
+    dt = std::min(dt, (config_.cache_bytes - q) / net_flow);
+
+  if (pending_.valid()) {
+    engine_.cancel(pending_);
+    pending_ = sim::EventHandle{};
+  }
+  // With no ops outstanding the only pending transition is residual cache
+  // writeback — background work that must not keep Engine::run() alive.
+  const bool daemon = ops_.empty() && flushes_.empty();
+  if (immediate) {
+    pending_ = daemon ? engine_.schedule_daemon_after(0.0, [this] { fire(); })
+                      : engine_.schedule_after(0.0, [this] { fire(); });
+  } else if (dt < kInf) {
+    // Never schedule below the time resolution: a sub-ulp dt would fire at
+    // an identical timestamp and make no fluid progress.
+    const double delay = std::max(dt, kEpsSeconds);
+    pending_ = daemon ? engine_.schedule_daemon_after(delay, [this] { fire(); })
+                      : engine_.schedule_after(delay, [this] { fire(); });
+  }
+}
+
+bool Ost::flush_ready() const {
+  if (orphan_ > kEps) return false;
+  for (const auto& [id, op] : ops_) {
+    if (op.mode == Mode::Cached) return false;
+  }
+  return true;
+}
+
+void Ost::fire() {
+  pending_ = sim::EventHandle{};
+  advance();
+
+  // Collect completions first; callbacks run only after the state is
+  // consistent.
+  std::vector<OnComplete> done;
+  for (auto it = ops_.begin(); it != ops_.end();) {
+    Op& op = it->second;
+    const double ingest_eps = kEps + (op.inflow + 1.0) * kEpsSeconds;
+    if (!op.fully_ingested() && op.bytes - op.ingested <= ingest_eps) {
+      const double remainder = op.bytes - op.ingested;
+      cum_in_ += remainder;  // account the tolerance remainder
+      op.dirty += remainder;
+      op.ingested = op.bytes;
+    }
+    if (op.fully_ingested()) {
+      const double drain_eps = kEps + (op.outflow + 1.0) * kEpsSeconds;
+      if (op.mode == Mode::Cached) {
+        orphan_ += op.dirty;  // residue keeps draining in background
+        done.push_back(std::move(op.on_complete));
+        it = ops_.erase(it);
+        continue;
+      }
+      if (op.dirty <= drain_eps) {
+        if (!op.is_read) cum_drained_ += op.dirty;
+        done.push_back(std::move(op.on_complete));
+        it = ops_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+  if (orphan_ <= kEps + orphan_outflow_ * kEpsSeconds) orphan_ = 0.0;
+  if (!flushes_.empty() && flush_ready()) {
+    for (auto& f : flushes_) done.push_back(std::move(f.on_complete));
+    flushes_.clear();
+  }
+
+  recompute();
+  const sim::Time now = engine_.now();
+  for (auto& cb : done) {
+    if (!cb) continue;
+    // Fixed per-op server overhead (request processing, RPC round trip):
+    // parallel writers absorb it once; serialized chains pay it per link.
+    if (config_.op_latency_s > 0.0) {
+      engine_.schedule_after(config_.op_latency_s,
+                             [cb = std::move(cb), this] { cb(engine_.now()); });
+    } else {
+      cb(now);
+    }
+  }
+}
+
+}  // namespace aio::fs

@@ -1,0 +1,38 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace aio::net {
+
+Network::Network(sim::Engine& engine, NetConfig config, std::size_t n_ranks)
+    : engine_(engine), config_(config), n_ranks_(n_ranks) {
+  if (n_ranks == 0) throw std::invalid_argument("Network: need at least one rank");
+  if (config_.cores_per_node == 0) throw std::invalid_argument("Network: cores_per_node == 0");
+  const std::size_t nodes = (n_ranks + config_.cores_per_node - 1) / config_.cores_per_node;
+  nics_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    nics_.push_back(std::make_unique<sim::FluidResource>(
+        engine_, sim::FluidResource::Config{config_.nic_bw, 0.0, 0.0}));
+  }
+}
+
+void Network::send(Rank from, Rank to, double bytes, Deliver deliver) {
+  if (from < 0 || static_cast<std::size_t>(from) >= n_ranks_ || to < 0 ||
+      static_cast<std::size_t>(to) >= n_ranks_) {
+    throw std::invalid_argument("Network::send: rank out of range");
+  }
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  const double latency = config_.latency_s;
+  if (from == to || bytes <= 0.0) {
+    engine_.schedule_after(latency, std::move(deliver));
+    return;
+  }
+  nics_[node_of(from)]->start(
+      bytes, [this, latency, deliver = std::move(deliver)](sim::Time) mutable {
+        engine_.schedule_after(latency, std::move(deliver));
+      });
+}
+
+}  // namespace aio::net

@@ -1,0 +1,63 @@
+// Simulated interconnect for coordination traffic.
+//
+// Ranks are placed on nodes (`cores_per_node` consecutive ranks per node,
+// matching the sequential rank-to-core assignment the paper exploits when it
+// groups a sub-coordinator with its writers).  A message pays a fixed
+// point-to-point latency plus transmission through the sending node's NIC,
+// which is a processor-sharing resource — simultaneous senders on one node
+// contend, which is exactly the intra-node contention the paper's grouping
+// choice reduces.
+//
+// Bulk *data* traffic to storage is modeled inside the OSTs (per-stream caps
+// approximate the client link); the network here carries protocol messages
+// and index payloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+
+namespace aio::net {
+
+using Rank = std::int32_t;
+
+struct NetConfig {
+  double latency_s = 8e-6;          ///< point-to-point latency
+  double nic_bw = 2.0e9;            ///< per-node injection bandwidth, bytes/s
+  std::size_t cores_per_node = 12;  ///< ranks per node
+};
+
+class Network {
+ public:
+  using Deliver = std::function<void()>;
+
+  Network(sim::Engine& engine, NetConfig config, std::size_t n_ranks);
+
+  /// Sends `bytes` from `from` to `to`; `deliver` runs at arrival time.
+  /// Self-sends skip the NIC but still pay one latency (they cross the
+  /// memory hierarchy, and keeping them asynchronous avoids reentrancy).
+  void send(Rank from, Rank to, double bytes, Deliver deliver);
+
+  [[nodiscard]] std::size_t n_ranks() const { return n_ranks_; }
+  [[nodiscard]] std::size_t n_nodes() const { return nics_.size(); }
+  [[nodiscard]] std::size_t node_of(Rank r) const {
+    return static_cast<std::size_t>(r) / config_.cores_per_node;
+  }
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] double bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] const NetConfig& config() const { return config_; }
+
+ private:
+  sim::Engine& engine_;
+  NetConfig config_;
+  std::size_t n_ranks_;
+  std::vector<std::unique_ptr<sim::FluidResource>> nics_;
+  std::uint64_t messages_sent_ = 0;
+  double bytes_sent_ = 0.0;
+};
+
+}  // namespace aio::net

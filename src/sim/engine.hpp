@@ -1,0 +1,113 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a time-ordered queue of one-shot events.  Events scheduled
+// for the same instant fire in scheduling order, which makes every simulation
+// built on top of the engine fully deterministic for a fixed seed.  Events
+// can be cancelled through the handle returned at scheduling time; the queue
+// uses lazy deletion so cancellation is O(1).
+//
+// Events come in two kinds: *normal* events represent work the simulation is
+// waiting for; *daemon* events represent perpetual background processes
+// (interference resampling, telemetry).  `run()` stops once no normal events
+// remain, so daemons never keep a simulation alive on their own.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace aio::sim {
+
+/// Simulated time in seconds since the start of the run.
+using Time = double;
+
+/// Identifies a scheduled event for cancellation.  A default-constructed
+/// handle is invalid and cancelling it is a harmless no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.  Starts at zero.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::size_t steps() const { return steps_; }
+
+  /// Number of events scheduled and not yet fired or cancelled.
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+
+  /// Number of pending non-daemon events.
+  [[nodiscard]] std::size_t pending_normal() const { return normal_pending_; }
+
+  /// Schedules `cb` to run at absolute time `t`.  `t` must not lie in the
+  /// past; scheduling "now" is allowed and fires after already-queued events
+  /// at the same instant.
+  EventHandle schedule_at(Time t, Callback cb) { return schedule(t, std::move(cb), false); }
+
+  /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule_after(Time delay, Callback cb) {
+    return schedule(now_ + delay, std::move(cb), false);
+  }
+
+  /// Daemon variants: these events fire in time order like any other, but do
+  /// not keep `run()` alive once all normal events have drained.
+  EventHandle schedule_daemon_at(Time t, Callback cb) { return schedule(t, std::move(cb), true); }
+  EventHandle schedule_daemon_after(Time delay, Callback cb) {
+    return schedule(now_ + delay, std::move(cb), true);
+  }
+
+  /// Cancels a pending event.  Returns true if the event existed and had not
+  /// yet fired.
+  bool cancel(EventHandle h);
+
+  /// Runs events until no normal events remain.  Returns the number of
+  /// events executed by this call (daemons included).
+  std::size_t run();
+
+  /// Runs events with time <= `t` (normal or daemon), then advances the
+  /// clock to exactly `t`.  Returns the number of events executed.
+  std::size_t run_until(Time t);
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::uint64_t id;   // odd ids are daemon events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  static bool is_daemon(std::uint64_t id) { return (id & 1u) != 0; }
+
+  EventHandle schedule(Time t, Callback cb, bool daemon);
+  bool pop_one();  // fires the next non-cancelled event; false if queue empty
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;  // scheduled, not yet fired/cancelled
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_serial_ = 1;
+  std::size_t steps_ = 0;
+  std::size_t normal_pending_ = 0;
+};
+
+}  // namespace aio::sim

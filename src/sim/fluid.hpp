@@ -1,0 +1,88 @@
+// Fluid-flow (processor-sharing) resource model.
+//
+// A FluidResource serves a set of concurrent streams, each with a fixed
+// amount of work (bytes).  At any instant the resource's usable capacity is
+//
+//     capacity * capacity_factor * efficiency(n)
+//
+// shared equally among the n active streams, with an optional per-stream
+// rate cap.  `efficiency(n) = 1 / (1 + alpha * (n - 1))` models the
+// throughput loss caused by interleaving many concurrent streams (disk seeks,
+// lock contention) — with alpha = 0 the resource is work-conserving.
+//
+// Between state changes the streams drain linearly, so the model only needs
+// one pending engine event (the earliest completion), which is cancelled and
+// recomputed whenever the stream set or the capacity factor changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/engine.hpp"
+
+namespace aio::sim {
+
+class FluidResource {
+ public:
+  struct Config {
+    double capacity = 1.0;        ///< bytes/sec at factor 1, single stream
+    double per_stream_cap = 0.0;  ///< max bytes/sec per stream; 0 = unlimited
+    double alpha = 0.0;           ///< concurrency efficiency loss coefficient
+  };
+
+  using StreamId = std::uint64_t;
+  /// Completion callback; receives the finish time.
+  using OnComplete = std::function<void(Time)>;
+
+  FluidResource(Engine& engine, Config config);
+  ~FluidResource();
+
+  FluidResource(const FluidResource&) = delete;
+  FluidResource& operator=(const FluidResource&) = delete;
+
+  /// Starts a stream of `bytes` work.  Zero-byte streams complete via an
+  /// immediate event (still asynchronously, preserving callback ordering).
+  StreamId start(double bytes, OnComplete on_complete);
+
+  /// Aborts a stream; its callback is never invoked.  Returns false if the
+  /// stream is unknown (already completed or aborted).
+  bool abort(StreamId id);
+
+  /// Adjusts the externally imposed capacity factor (interference, fabric
+  /// governor).  Factor must be >= 0; 0 freezes all streams.
+  void set_capacity_factor(double factor);
+  [[nodiscard]] double capacity_factor() const { return factor_; }
+
+  [[nodiscard]] std::size_t active_streams() const { return streams_.size(); }
+  [[nodiscard]] double remaining(StreamId id) const;
+  /// Current aggregate service rate (bytes/sec across all streams).
+  [[nodiscard]] double total_rate() const;
+  /// Current per-stream service rate.
+  [[nodiscard]] double stream_rate() const;
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  [[nodiscard]] static double efficiency(double alpha, std::size_t n) {
+    return n <= 1 ? 1.0 : 1.0 / (1.0 + alpha * (static_cast<double>(n) - 1.0));
+  }
+
+ private:
+  struct Stream {
+    double remaining;
+    OnComplete on_complete;
+  };
+
+  void advance();     ///< drains all streams from last_update_ to now
+  void reschedule();  ///< re-arms the next-completion event
+  void fire();        ///< completes every stream that has drained
+
+  Engine& engine_;
+  Config config_;
+  double factor_ = 1.0;
+  std::unordered_map<StreamId, Stream> streams_;
+  StreamId next_id_ = 1;
+  Time last_update_ = 0.0;
+  EventHandle pending_;
+};
+
+}  // namespace aio::sim

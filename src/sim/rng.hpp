@@ -1,0 +1,70 @@
+// Deterministic random-number utilities for the simulator.
+//
+// Every stochastic model takes an `Rng` by reference; independent streams for
+// sub-models are derived with `fork`, so adding a new consumer never perturbs
+// the draws seen by existing ones.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace aio::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed), seed_(seed) {}
+
+  /// Derives an independent stream.  Deterministic in (parent seed, salt).
+  [[nodiscard]] Rng fork(std::uint64_t salt) const {
+    // SplitMix64-style mixing of the original seed with the salt.
+    std::uint64_t z = seed_ + (salt + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+  }
+
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// Log-normal parameterized by the mean and coefficient of variation of the
+  /// *resulting* distribution (not of the underlying normal), which is the
+  /// natural way to express "load with mean m and CV c".
+  double lognormal_mean_cv(double mean, double cv) {
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(gen_);
+  }
+
+  /// Pareto with given minimum and shape (heavy-tailed bursts).
+  double pareto(double minimum, double shape) {
+    const double u = std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+    return minimum / std::pow(1.0 - u, 1.0 / shape);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(gen_); }
+
+  std::mt19937_64& raw() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace aio::sim

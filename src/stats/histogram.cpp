@@ -1,0 +1,83 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace aio::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t n_bins) : lo_(lo), hi_(hi) {
+  if (n_bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  counts_.assign(n_bins, 0);
+}
+
+Histogram Histogram::fit(std::span<const double> xs, std::size_t n_bins) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const double x : xs) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (xs.empty()) {
+    lo = 0.0;
+    hi = 1.0;
+  } else if (!(hi > lo)) {
+    hi = lo + 1.0;  // degenerate data: single point
+  }
+  Histogram h(lo, hi, n_bins);
+  h.add(xs);
+  return h;
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const double frac = (x - lo_) / (hi_ - lo_);
+  return std::min(static_cast<std::size_t>(frac * static_cast<double>(counts_.size())),
+                  counts_.size() - 1);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+void Histogram::add(std::span<const double> xs) {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::render(std::size_t width, const std::string& unit) const {
+  std::uint64_t peak = 0;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) peak = 1;
+
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) * static_cast<double>(width) /
+                                 static_cast<double>(peak));
+    std::snprintf(line, sizeof line, "  [%10.1f, %10.1f) %-6llu |", bin_lo(b), bin_hi(b),
+                  static_cast<unsigned long long>(counts_[b]));
+    out += line;
+    out.append(bar, '#');
+    if (!unit.empty() && b == 0) out += "  (" + unit + ")";
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace aio::stats

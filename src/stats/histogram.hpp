@@ -1,0 +1,43 @@
+// Fixed-width histogram with an ASCII renderer (the paper's Fig. 2 plots).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aio::stats {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `n_bins` equal-width bins; values outside the range
+  /// clamp into the first/last bin.
+  Histogram(double lo, double hi, std::size_t n_bins);
+
+  /// Builds bounds from data: [min, max] split into n_bins.
+  static Histogram fit(std::span<const double> xs, std::size_t n_bins);
+
+  void add(double x);
+  void add(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t n_bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  [[nodiscard]] std::size_t bin_of(double x) const;
+  /// Index of the fullest bin.
+  [[nodiscard]] std::size_t mode_bin() const;
+
+  /// Multi-line ASCII bar rendering, one row per bin.
+  [[nodiscard]] std::string render(std::size_t width = 50,
+                                   const std::string& unit = "") const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace aio::stats

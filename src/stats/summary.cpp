@@ -1,0 +1,60 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace aio::stats {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::add(std::span<const double> xs) {
+  for (const double x : xs) add(x);
+}
+
+double Summary::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::cv() const { return mean() != 0.0 ? stddev() / mean() : 0.0; }
+
+double Summary::min() const { return n_ > 0 ? min_ : 0.0; }
+double Summary::max() const { return n_ > 0 ? max_ : 0.0; }
+
+double imbalance_factor(std::span<const double> durations) {
+  if (durations.empty()) return 0.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const double d : durations) {
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  return lo > 0.0 ? hi / lo : 0.0;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace aio::stats

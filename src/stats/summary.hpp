@@ -1,0 +1,43 @@
+// Streaming summary statistics (Welford) and the paper's derived metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aio::stats {
+
+/// Numerically stable online mean/variance with min/max tracking.
+class Summary {
+ public:
+  void add(double x);
+  void add(std::span<const double> xs);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Coefficient of variation, stddev/mean — what the paper's Table I calls
+  /// "covariance", reported as a percentage there.
+  [[nodiscard]] double cv() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// The paper's imbalance factor: slowest / fastest over a set of durations.
+[[nodiscard]] double imbalance_factor(std::span<const double> durations);
+
+/// Percentile by linear interpolation (p in [0,100]); copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+}  // namespace aio::stats

@@ -1,0 +1,92 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace aio::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no columns");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::bytes(double v) {
+  char buf[64];
+  if (v >= 1e12) {
+    std::snprintf(buf, sizeof buf, "%.1f TB", v / 1e12);
+  } else if (v >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1f GB", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1f MB", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f B", v);
+  }
+  return buf;
+}
+
+std::string Table::bandwidth(double bytes_per_sec) {
+  char buf[64];
+  if (bytes_per_sec >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f GB/s", bytes_per_sec / 1e9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f MB/s", bytes_per_sec / 1e6);
+  }
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += "  ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  std::string rule;
+  emit_row(std::vector<std::string>(headers_.size(), ""), rule);  // sizing only
+  out.append(2 + widths[0], '-');
+  for (std::size_t c = 1; c < widths.size(); ++c) out.append(2 + widths[c], '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string Table::render_csv() const {
+  std::string out;
+  auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out += ',';
+      out += cells[c];
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace aio::stats

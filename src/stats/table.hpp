@@ -1,0 +1,35 @@
+// Minimal aligned-column table printer for the bench harnesses.
+//
+// Every bench prints the same rows/series the paper's tables and figures
+// report; this keeps the formatting consistent and greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aio::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+  /// Human-friendly byte count (e.g. "128 MB").
+  static std::string bytes(double v);
+  /// Bandwidth in MB/s or GB/s as magnitude warrants.
+  static std::string bandwidth(double bytes_per_sec);
+
+  [[nodiscard]] std::string render() const;
+  /// Comma-separated rendering for machine consumption.
+  [[nodiscard]] std::string render_csv() const;
+  [[nodiscard]] std::size_t n_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aio::stats

@@ -1,0 +1,65 @@
+#include "workload/ior.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "core/transports/posix_transport.hpp"
+
+namespace aio::workload {
+
+stats::Summary IorSeries::aggregate_summary() const {
+  stats::Summary s;
+  for (const auto& smp : samples) s.add(smp.aggregate_bw);
+  return s;
+}
+
+stats::Summary IorSeries::per_writer_summary() const {
+  stats::Summary s;
+  for (const auto& smp : samples) s.add(smp.per_writer_bw);
+  return s;
+}
+
+double IorSeries::mean_imbalance() const {
+  stats::Summary s;
+  for (const auto& smp : samples) s.add(smp.imbalance);
+  return s.mean();
+}
+
+IorSample run_ior_once(fs::FileSystem& filesystem, const IorConfig& config) {
+  core::PosixTransport::Config pc;
+  pc.osts_to_use = config.osts_to_use;
+  pc.mode = config.mode;
+  core::PosixTransport transport(filesystem, pc);
+
+  std::optional<core::IoResult> result;
+  transport.run(core::IoJob::uniform(config.writers, config.bytes_per_writer),
+                [&](core::IoResult r) { result = std::move(r); });
+  filesystem.engine().run();
+  if (!result) throw std::logic_error("run_ior_once: transport did not complete");
+
+  IorSample sample;
+  sample.aggregate_bw = result->bandwidth();
+  sample.imbalance = result->imbalance_factor();
+  stats::Summary per_writer;
+  sample.writer_seconds.reserve(result->writer_times.size());
+  for (const auto& w : result->writer_times) {
+    sample.writer_seconds.push_back(w.duration());
+    if (w.duration() > 0.0) per_writer.add(config.bytes_per_writer / w.duration());
+  }
+  sample.per_writer_bw = per_writer.mean();
+  return sample;
+}
+
+IorSeries run_ior(fs::FileSystem& filesystem, const IorConfig& config) {
+  IorSeries series;
+  series.samples.reserve(config.samples);
+  for (std::size_t i = 0; i < config.warmup + config.samples; ++i) {
+    IorSample sample = run_ior_once(filesystem, config);
+    if (i >= config.warmup) series.samples.push_back(std::move(sample));
+    sim::Engine& engine = filesystem.engine();
+    engine.run_until(engine.now() + config.gap_seconds);
+  }
+  return series;
+}
+
+}  // namespace aio::workload

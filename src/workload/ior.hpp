@@ -1,0 +1,53 @@
+// IOR-equivalent benchmark driver (paper Section II).
+//
+// Reproduces the paper's measurement protocol: POSIX-IO, one file per
+// writer, each writer pinned to a fixed OST, writers split evenly across the
+// OSTs in use, repeated samples with min/avg/max reporting.  Used by the
+// internal-interference (Fig. 1) and external-interference (Table I, Figs.
+// 2-3) harnesses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/transports/layout.hpp"
+#include "fs/filesystem.hpp"
+#include "stats/summary.hpp"
+
+namespace aio::workload {
+
+struct IorConfig {
+  std::size_t writers = 512;
+  double bytes_per_writer = 128.0 * (1 << 20);
+  std::size_t osts_to_use = 512;
+  fs::Ost::Mode mode = fs::Ost::Mode::Cached;  ///< plain POSIX writes
+  std::size_t samples = 5;
+  double gap_seconds = 2.0;  ///< idle time between consecutive samples
+  std::size_t warmup = 0;    ///< unrecorded leading samples (cache steady state)
+};
+
+struct IorSample {
+  double aggregate_bw = 0.0;   ///< bytes/sec over the sample
+  double per_writer_bw = 0.0;  ///< mean of per-writer bandwidths
+  double imbalance = 0.0;      ///< slowest/fastest writer
+  std::vector<double> writer_seconds;
+};
+
+struct IorSeries {
+  std::vector<IorSample> samples;
+  [[nodiscard]] stats::Summary aggregate_summary() const;
+  [[nodiscard]] stats::Summary per_writer_summary() const;
+  [[nodiscard]] double mean_imbalance() const;
+};
+
+/// Runs `config.samples` consecutive IOR samples on `filesystem`, spacing
+/// them `gap_seconds` apart (caches partially drain between samples, as they
+/// would between back-to-back IOR iterations).  Drives the engine itself.
+IorSeries run_ior(fs::FileSystem& filesystem, const IorConfig& config);
+
+/// Runs one sample at the current simulation time (the hourly-test harness
+/// advances the clock itself).
+IorSample run_ior_once(fs::FileSystem& filesystem, const IorConfig& config);
+
+}  // namespace aio::workload

@@ -1,0 +1,41 @@
+// Pixie3D IO kernel (paper Section IV-A).
+//
+// Pixie3D is a 3-D extended-MHD code with a 3-D domain decomposition whose
+// output is "eight double-precision, 3D arrays".  Each process owns a cube:
+// 32^3 (small, 2 MB/process), 128^3 (large, 128 MB/process) or 256^3 (extra
+// large, 1 GB/process), with weak scaling — the global array grows with the
+// process grid.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/transports/layout.hpp"
+
+namespace aio::workload {
+
+struct Pixie3dConfig {
+  std::size_t cube = 128;  ///< per-process, per-variable edge length
+  static Pixie3dConfig small_model() { return {32}; }    // 2 MB/process
+  static Pixie3dConfig large_model() { return {128}; }   // 128 MB/process
+  static Pixie3dConfig xl_model() { return {256}; }      // 1 GB/process
+
+  [[nodiscard]] double bytes_per_process() const {
+    const double per_var = static_cast<double>(cube) * cube * cube * sizeof(double);
+    return 8.0 * per_var;  // eight double-precision 3D arrays
+  }
+};
+
+/// Near-cubic 3-D process grid for n processes (px >= py >= pz,
+/// px*py*pz == n) — the domain decomposition Pixie3D uses.
+std::array<std::size_t, 3> process_grid(std::size_t n_procs);
+
+/// Name of Pixie3D output variable `v` (0-7).
+const char* pixie3d_var_name(std::uint32_t v);
+
+/// Builds the IoJob for one Pixie3D output step on `n_procs` processes:
+/// uniform payloads plus per-rank blueprints carrying the eight variables'
+/// logical decomposition (global dims, offsets, counts, characteristics).
+core::IoJob pixie3d_job(const Pixie3dConfig& config, std::size_t n_procs);
+
+}  // namespace aio::workload

@@ -1,0 +1,39 @@
+// S3D IO kernel.
+//
+// The paper repeatedly situates its data models against S3D, the Sandia
+// terascale direct numerical combustion code [13]: Pixie3D's 2 MB model is
+// "maybe 10% of a typical data size for an application like the S3D
+// combustion simulation", and 38 MB/process is "about the size of smaller
+// S3D and Chimera runs".  S3D writes a 3-D domain decomposition of the
+// primitive variables (density, velocity, temperature, pressure) plus a
+// per-cell chemical species vector — the species count dominates the
+// output.
+#pragma once
+
+#include <cstdint>
+
+#include "core/transports/layout.hpp"
+
+namespace aio::workload {
+
+struct S3dConfig {
+  std::size_t cube = 96;        ///< per-process grid edge
+  std::size_t n_species = 22;   ///< chemical mechanism size (22 = ethylene)
+  /// 6 primitive fields (rho, u, v, w, T, P) + n_species mass fractions.
+  [[nodiscard]] std::size_t n_fields() const { return 6 + n_species; }
+  [[nodiscard]] double bytes_per_process() const {
+    const double per_field = static_cast<double>(cube) * cube * cube * sizeof(double);
+    return static_cast<double>(n_fields()) * per_field;
+  }
+
+  /// ~38 MB/process, the "smaller S3D runs" the paper compares XGC1 to.
+  static S3dConfig small_run() { return {56, 22}; }
+  /// ~194 MB/process, a typical production checkpoint.
+  static S3dConfig production_run() { return {96, 22}; }
+};
+
+/// One S3D restart dump on `n_procs` processes (3-D domain decomposition,
+/// weak scaling, one block per field per process).
+core::IoJob s3d_job(const S3dConfig& config, std::size_t n_procs);
+
+}  // namespace aio::workload

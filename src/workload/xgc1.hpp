@@ -1,0 +1,27 @@
+// XGC1 IO kernel (paper Section IV-B).
+//
+// XGC1 is a gyrokinetic particle-in-cell code; the paper's tests use a
+// configuration generating 38 MB per process with weak scaling.  The output
+// is dominated by per-process particle phase-space arrays plus a small
+// shared field mesh — representative of "many scientific codes beyond XGC1,
+// such as larger S3D runs".
+#pragma once
+
+#include <cstdint>
+
+#include "core/transports/layout.hpp"
+
+namespace aio::workload {
+
+struct Xgc1Config {
+  double bytes_per_process = 38.0 * (1 << 20);
+  /// Phase-space components per particle (x, y, z, v_par, v_perp, weight...).
+  std::size_t phase_dims = 6;
+};
+
+/// One XGC1 restart step on `n_procs` processes: a particle block per
+/// process (var 0, 1-D over the global particle index space) and this
+/// process's slice of the field mesh (var 1).
+core::IoJob xgc1_job(const Xgc1Config& config, std::size_t n_procs);
+
+}  // namespace aio::workload

@@ -1,0 +1,202 @@
+// Unit tests for the discrete-event engine: ordering, cancellation, daemon
+// semantics, and run_until behaviour.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using aio::sim::Engine;
+using aio::sim::EventHandle;
+using aio::sim::Time;
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.steps(), 0u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, ExecutesEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SameTimeEventsFireInSchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine e;
+  Time fired_at = -1.0;
+  e.schedule_at(5.0, [&] { e.schedule_after(2.5, [&] { fired_at = e.now(); }); });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(10.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(5.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, SchedulingAtNowIsAllowed) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] { e.schedule_after(0.0, [&] { ++count; }); });
+  e.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  EventHandle h = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(h));
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.steps(), 0u);
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+  Engine e;
+  EventHandle h = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.cancel(h));
+  EXPECT_FALSE(e.cancel(h));
+}
+
+TEST(Engine, CancelInvalidHandleIsNoop) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(EventHandle{}));
+}
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine e;
+  EventHandle h = e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(h));
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) e.schedule_after(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(e.now(), 99.0);
+}
+
+TEST(Engine, RunReturnsEventCount) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(static_cast<double>(i), [] {});
+  EXPECT_EQ(e.run(), 7u);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine e;
+  std::vector<Time> fired;
+  for (int i = 1; i <= 5; ++i)
+    e.schedule_at(static_cast<double>(i), [&fired, &e] { fired.push_back(e.now()); });
+  e.run_until(3.0);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  e.run_until(10.0);
+  EXPECT_EQ(fired.size(), 5u);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(Engine, RunUntilIncludesEventsExactlyAtBoundary) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(2.0, [&] { fired = true; });
+  e.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RunStopsWhenOnlyDaemonsRemain) {
+  Engine e;
+  int daemon_fires = 0;
+  // A self-perpetuating daemon: would run forever if run() waited on it.
+  std::function<void()> tick = [&] {
+    ++daemon_fires;
+    e.schedule_daemon_after(1.0, tick);
+  };
+  e.schedule_daemon_at(0.5, tick);
+  bool normal_fired = false;
+  e.schedule_at(2.0, [&] { normal_fired = true; });
+  e.run();
+  EXPECT_TRUE(normal_fired);
+  // Daemons at 0.5 and 1.5 precede the normal event; none after it.
+  EXPECT_EQ(daemon_fires, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(Engine, RunUntilDrivesDaemons) {
+  Engine e;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    ++fires;
+    e.schedule_daemon_after(1.0, tick);
+  };
+  e.schedule_daemon_at(1.0, tick);
+  e.run_until(5.5);
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(Engine, CancelledDaemonDoesNotFire) {
+  Engine e;
+  bool fired = false;
+  EventHandle h = e.schedule_daemon_at(1.0, [&] { fired = true; });
+  e.cancel(h);
+  e.run_until(2.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, PendingNormalCountTracksScheduleFireCancel) {
+  Engine e;
+  EXPECT_EQ(e.pending_normal(), 0u);
+  EventHandle a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  e.schedule_daemon_at(3.0, [] {});
+  EXPECT_EQ(e.pending_normal(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending_normal(), 1u);
+  e.run();
+  EXPECT_EQ(e.pending_normal(), 0u);
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  Engine e;
+  Time last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 20000; ++i) {
+    e.schedule_at(static_cast<double>((i * 7919) % 1000), [&, i] {
+      (void)i;
+      if (e.now() < last) monotone = false;
+      last = e.now();
+    });
+  }
+  e.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(e.steps(), 20000u);
+}
+
+}  // namespace

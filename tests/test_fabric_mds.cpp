@@ -1,0 +1,186 @@
+// Tests for the fabric governor and the metadata server.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fs/fabric.hpp"
+#include "fs/mds.hpp"
+#include "fs/ost.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using aio::fs::FabricGovernor;
+using aio::fs::MetadataServer;
+using aio::fs::Ost;
+using aio::sim::Engine;
+using aio::sim::Time;
+
+Ost::Config fast_ost() {
+  Ost::Config c;
+  c.ingest_bw = 100.0;
+  c.disk_bw = 100.0;
+  c.cache_bytes = 1e9;
+  c.alpha = 0.0;
+  c.eff_floor = 0.0;
+  return c;
+}
+
+TEST(Fabric, SingleActiveOstKeepsFullFactor) {
+  Engine e;
+  // Fabric admits 4 OSTs' worth of ingest; one active OST is unconstrained.
+  FabricGovernor gov(400.0);
+  std::vector<std::unique_ptr<Ost>> osts;
+  for (int i = 0; i < 8; ++i) {
+    osts.push_back(std::make_unique<Ost>(e, fast_ost(), i));
+    gov.attach(*osts.back());
+  }
+  Time done = -1;
+  osts[0]->write(100.0, Ost::Mode::Cached, [&](Time t) { done = t; });
+  e.run();
+  EXPECT_NEAR(done, 1.0, 1e-6);
+  EXPECT_EQ(gov.active_count(), 0u);  // idle again after completion
+}
+
+TEST(Fabric, ManyActiveOstsShareTheFabric) {
+  Engine e;
+  // Fabric 400 B/s, 8 OSTs of 100 B/s ingest -> factor 0.5 when all active.
+  FabricGovernor gov(400.0);
+  std::vector<std::unique_ptr<Ost>> osts;
+  for (int i = 0; i < 8; ++i) {
+    osts.push_back(std::make_unique<Ost>(e, fast_ost(), i));
+    gov.attach(*osts.back());
+  }
+  std::vector<Time> done(8, -1.0);
+  for (int i = 0; i < 8; ++i)
+    osts[i]->write(100.0, Ost::Mode::Cached, [&done, i](Time t) { done[i] = t; });
+  e.run();
+  for (int i = 0; i < 8; ++i) EXPECT_NEAR(done[i], 2.0, 0.1) << "ost " << i;
+}
+
+TEST(Fabric, ZeroBandwidthDisablesGovernor) {
+  Engine e;
+  FabricGovernor gov(0.0);
+  std::vector<std::unique_ptr<Ost>> osts;
+  for (int i = 0; i < 4; ++i) {
+    osts.push_back(std::make_unique<Ost>(e, fast_ost(), i));
+    gov.attach(*osts.back());
+  }
+  std::vector<Time> done(4, -1.0);
+  for (int i = 0; i < 4; ++i)
+    osts[i]->write(100.0, Ost::Mode::Cached, [&done, i](Time t) { done[i] = t; });
+  e.run();
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(done[i], 1.0, 1e-6);
+}
+
+TEST(Fabric, FactorRecoversWhenOstsGoIdle) {
+  Engine e;
+  FabricGovernor gov(100.0);  // only one OST's worth
+  std::vector<std::unique_ptr<Ost>> osts;
+  for (int i = 0; i < 2; ++i) {
+    osts.push_back(std::make_unique<Ost>(e, fast_ost(), i));
+    gov.attach(*osts.back());
+  }
+  Time d0 = -1, d1 = -1;
+  osts[0]->write(50.0, Ost::Mode::Cached, [&](Time t) { d0 = t; });
+  osts[1]->write(100.0, Ost::Mode::Cached, [&](Time t) { d1 = t; });
+  e.run();
+  // Both at 50 B/s until t=1 (ost0 done, 50 B left on ost1), then ost1 back
+  // to 100 B/s: d1 = 1 + 0.5 (within hysteresis slack).
+  EXPECT_NEAR(d0, 1.0, 0.1);
+  EXPECT_NEAR(d1, 1.5, 0.1);
+}
+
+TEST(Mds, SingleOpTakesBaseTime) {
+  Engine e;
+  MetadataServer::Config c;
+  c.open_base_s = 0.001;
+  c.queue_penalty = 0.01;
+  MetadataServer mds(e, c);
+  Time done = -1;
+  mds.submit(MetadataServer::OpKind::Open, [&](Time t) { done = t; });
+  e.run();
+  EXPECT_NEAR(done, 0.001, 1e-9);
+  EXPECT_EQ(mds.completed_ops(), 1u);
+}
+
+TEST(Mds, OpsAreServedFifo) {
+  Engine e;
+  MetadataServer::Config c;
+  c.open_base_s = 0.001;
+  c.queue_penalty = 0.0;
+  MetadataServer mds(e, c);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    mds.submit(MetadataServer::OpKind::Open, [&order, i](Time) { order.push_back(i); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Mds, OpenStormDegradesServiceTime) {
+  // The same 256 opens take longer when they arrive as a storm than when
+  // they arrive after the previous one completes (queue penalty).
+  MetadataServer::Config c;
+  c.open_base_s = 0.001;
+  c.queue_penalty = 0.01;
+
+  Engine storm_engine;
+  MetadataServer storm_mds(storm_engine, c);
+  Time storm_done = -1;
+  for (int i = 0; i < 256; ++i)
+    storm_mds.submit(MetadataServer::OpKind::Open, [&](Time t) { storm_done = t; });
+  storm_engine.run();
+
+  Engine serial_engine;
+  MetadataServer serial_mds(serial_engine, c);
+  Time serial_done = -1;
+  std::function<void(int)> next = [&](int remaining) {
+    if (remaining == 0) return;
+    serial_mds.submit(MetadataServer::OpKind::Open, [&, remaining](Time t) {
+      serial_done = t;
+      next(remaining - 1);
+    });
+  };
+  next(256);
+  serial_engine.run();
+
+  EXPECT_GT(storm_done, serial_done * 1.5);
+  EXPECT_EQ(storm_mds.peak_backlog(), 256u);
+  EXPECT_EQ(serial_mds.peak_backlog(), 1u);
+}
+
+TEST(Mds, DifferentOpKindsUseDifferentBaseTimes) {
+  Engine e;
+  MetadataServer::Config c;
+  c.open_base_s = 0.004;
+  c.close_base_s = 0.002;
+  c.stat_base_s = 0.001;
+  c.queue_penalty = 0.0;
+  MetadataServer mds(e, c);
+  Time open_done = -1, close_done = -1, stat_done = -1;
+  mds.submit(MetadataServer::OpKind::Open, [&](Time t) { open_done = t; });
+  e.run();
+  mds.submit(MetadataServer::OpKind::Close, [&](Time t) { close_done = t; });
+  e.run();
+  mds.submit(MetadataServer::OpKind::Stat, [&](Time t) { stat_done = t; });
+  e.run();
+  EXPECT_NEAR(open_done, 0.004, 1e-9);
+  EXPECT_NEAR(close_done - open_done, 0.002, 1e-9);
+  EXPECT_NEAR(stat_done - close_done, 0.001, 1e-9);
+}
+
+TEST(Mds, CallbackCanSubmitMoreWork) {
+  Engine e;
+  MetadataServer::Config c;
+  MetadataServer mds(e, c);
+  int completed = 0;
+  mds.submit(MetadataServer::OpKind::Open, [&](Time) {
+    ++completed;
+    mds.submit(MetadataServer::OpKind::Close, [&](Time) { ++completed; });
+  });
+  e.run();
+  EXPECT_EQ(completed, 2);
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Unit and property tests for the processor-sharing fluid resource.
+#include "sim/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace {
+
+using aio::sim::Engine;
+using aio::sim::FluidResource;
+using aio::sim::Time;
+
+FluidResource::Config cfg(double capacity, double cap = 0.0, double alpha = 0.0) {
+  return FluidResource::Config{capacity, cap, alpha};
+}
+
+TEST(Fluid, SingleStreamTakesBytesOverCapacity) {
+  Engine e;
+  FluidResource r(e, cfg(100.0));
+  Time done = -1.0;
+  r.start(250.0, [&](Time t) { done = t; });
+  e.run();
+  EXPECT_NEAR(done, 2.5, 1e-9);
+}
+
+TEST(Fluid, TwoEqualStreamsShareCapacity) {
+  Engine e;
+  FluidResource r(e, cfg(100.0));
+  Time d1 = -1, d2 = -1;
+  r.start(100.0, [&](Time t) { d1 = t; });
+  r.start(100.0, [&](Time t) { d2 = t; });
+  e.run();
+  // Each gets 50 B/s -> both finish at t = 2.
+  EXPECT_NEAR(d1, 2.0, 1e-9);
+  EXPECT_NEAR(d2, 2.0, 1e-9);
+}
+
+TEST(Fluid, ShorterStreamFinishesFirstThenSurvivorSpeedsUp) {
+  Engine e;
+  FluidResource r(e, cfg(100.0));
+  Time d_short = -1, d_long = -1;
+  r.start(50.0, [&](Time t) { d_short = t; });
+  r.start(150.0, [&](Time t) { d_long = t; });
+  e.run();
+  // Shared 50/50 until t=1 (short done, long has 100 left), then full rate.
+  EXPECT_NEAR(d_short, 1.0, 1e-9);
+  EXPECT_NEAR(d_long, 2.0, 1e-9);
+}
+
+TEST(Fluid, LateArrivalSlowsExistingStream) {
+  Engine e;
+  FluidResource r(e, cfg(100.0));
+  Time d1 = -1, d2 = -1;
+  r.start(100.0, [&](Time t) { d1 = t; });
+  e.schedule_at(0.5, [&] { r.start(100.0, [&](Time t) { d2 = t; }); });
+  e.run();
+  // First: 50 B alone, then 50 B at half rate -> 0.5 + 1.0 = 1.5.
+  EXPECT_NEAR(d1, 1.5, 1e-9);
+  // Second: 50 B at half rate, then 50 B alone -> 0.5+1.0 .. finishes at 2.0.
+  EXPECT_NEAR(d2, 2.0, 1e-9);
+}
+
+TEST(Fluid, PerStreamCapLimitsLoneStream) {
+  Engine e;
+  FluidResource r(e, cfg(100.0, /*cap=*/10.0));
+  Time done = -1;
+  r.start(100.0, [&](Time t) { done = t; });
+  e.run();
+  EXPECT_NEAR(done, 10.0, 1e-9);
+}
+
+TEST(Fluid, CapDoesNotBindWhenShareIsSmaller) {
+  Engine e;
+  FluidResource r(e, cfg(100.0, /*cap=*/60.0));
+  Time d1 = -1;
+  r.start(100.0, [&](Time t) { d1 = t; });
+  r.start(100.0, [&](Time) {});
+  e.run();
+  // Share is 50 < cap 60.
+  EXPECT_NEAR(d1, 2.0, 1e-9);
+}
+
+TEST(Fluid, EfficiencyPenaltyReducesAggregateRate) {
+  Engine e;
+  const double alpha = 0.5;
+  FluidResource r(e, cfg(100.0, 0.0, alpha));
+  Time d = -1;
+  r.start(100.0, [&](Time t) { d = t; });
+  r.start(100.0, [&](Time t) { d = t; });
+  e.run();
+  // eff(2) = 1/(1+0.5) = 2/3; total rate 66.67, 33.33 each -> 3 s.
+  EXPECT_NEAR(d, 3.0, 1e-6);
+}
+
+TEST(Fluid, EfficiencyHelper) {
+  EXPECT_DOUBLE_EQ(FluidResource::efficiency(0.5, 1), 1.0);
+  EXPECT_DOUBLE_EQ(FluidResource::efficiency(0.5, 2), 1.0 / 1.5);
+  EXPECT_DOUBLE_EQ(FluidResource::efficiency(0.0, 64), 1.0);
+}
+
+TEST(Fluid, AbortRemovesStreamAndNeverFiresCallback) {
+  Engine e;
+  FluidResource r(e, cfg(100.0));
+  bool aborted_fired = false;
+  Time d_other = -1;
+  auto id = r.start(100.0, [&](Time) { aborted_fired = true; });
+  r.start(100.0, [&](Time t) { d_other = t; });
+  e.schedule_at(0.5, [&] { EXPECT_TRUE(r.abort(id)); });
+  e.run();
+  EXPECT_FALSE(aborted_fired);
+  // Other stream: 25 B at half rate, then 75 B at full rate -> 0.5 + 0.75.
+  EXPECT_NEAR(d_other, 1.25, 1e-9);
+}
+
+TEST(Fluid, AbortUnknownStreamReturnsFalse) {
+  Engine e;
+  FluidResource r(e, cfg(100.0));
+  EXPECT_FALSE(r.abort(12345));
+}
+
+TEST(Fluid, CapacityFactorZeroFreezesAndResumes) {
+  Engine e;
+  FluidResource r(e, cfg(100.0));
+  Time done = -1;
+  r.start(100.0, [&](Time t) { done = t; });
+  e.schedule_at(0.5, [&] { r.set_capacity_factor(0.0); });
+  e.schedule_at(2.5, [&] { r.set_capacity_factor(1.0); });
+  e.run();
+  // 50 B by t=0.5, frozen 2 s, remaining 50 B -> done at 3.0.
+  EXPECT_NEAR(done, 3.0, 1e-9);
+}
+
+TEST(Fluid, CapacityFactorScalesRate) {
+  Engine e;
+  FluidResource r(e, cfg(100.0));
+  r.set_capacity_factor(0.25);
+  Time done = -1;
+  r.start(100.0, [&](Time t) { done = t; });
+  e.run();
+  EXPECT_NEAR(done, 4.0, 1e-9);
+}
+
+TEST(Fluid, ZeroByteStreamCompletesImmediatelyButAsynchronously) {
+  Engine e;
+  FluidResource r(e, cfg(100.0));
+  bool fired = false;
+  r.start(0.0, [&](Time t) {
+    fired = true;
+    EXPECT_DOUBLE_EQ(t, 0.0);
+  });
+  EXPECT_FALSE(fired);  // not synchronous
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Fluid, CallbackCanStartNewStream) {
+  Engine e;
+  FluidResource r(e, cfg(100.0));
+  Time second_done = -1;
+  r.start(100.0, [&](Time) { r.start(100.0, [&](Time t) { second_done = t; }); });
+  e.run();
+  EXPECT_NEAR(second_done, 2.0, 1e-9);
+}
+
+TEST(Fluid, RemainingReportsLiveProgress) {
+  Engine e;
+  FluidResource r(e, cfg(100.0));
+  auto id = r.start(100.0, [](Time) {});
+  double at_half = -1;
+  e.schedule_at(0.5, [&] { at_half = r.remaining(id); });
+  e.run();
+  EXPECT_NEAR(at_half, 50.0, 1e-6);
+  EXPECT_DOUBLE_EQ(r.remaining(id), 0.0);  // completed stream reports 0
+}
+
+TEST(Fluid, NegativeBytesThrows) {
+  Engine e;
+  FluidResource r(e, cfg(100.0));
+  EXPECT_THROW(r.start(-1.0, [](Time) {}), std::invalid_argument);
+}
+
+TEST(Fluid, InvalidConfigThrows) {
+  Engine e;
+  EXPECT_THROW(FluidResource(e, cfg(0.0)), std::invalid_argument);
+  EXPECT_THROW(FluidResource(e, cfg(-5.0)), std::invalid_argument);
+  EXPECT_THROW(FluidResource(e, cfg(1.0, -1.0)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: for any stream count and work distribution, total service
+// time must equal total work / capacity (work conservation, alpha = 0, no
+// caps), and completions must be ordered by work.
+// ---------------------------------------------------------------------------
+
+class FluidConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidConservation, WorkConservingUnderAnyMix) {
+  const int n = GetParam();
+  Engine e;
+  FluidResource r(e, cfg(1000.0));
+  double total_work = 0.0;
+  std::vector<Time> done(n, -1.0);
+  std::vector<double> work(n);
+  for (int i = 0; i < n; ++i) {
+    work[i] = 100.0 * (i + 1);
+    total_work += work[i];
+    r.start(work[i], [&done, i](Time t) { done[i] = t; });
+  }
+  e.run();
+  // Last completion = total work / capacity (processor sharing is
+  // work-conserving when nothing else binds).
+  EXPECT_NEAR(done.back(), total_work / 1000.0, 1e-6);
+  // Less work never finishes later.
+  for (int i = 1; i < n; ++i) EXPECT_LE(done[i - 1], done[i] + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FluidConservation, ::testing::Values(1, 2, 3, 5, 8, 16, 64));
+
+}  // namespace

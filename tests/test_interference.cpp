@@ -1,0 +1,224 @@
+// Tests for the external-interference models.
+#include "fs/interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fs/ost.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using aio::fs::BackgroundLoad;
+using aio::fs::InterferenceJob;
+using aio::fs::Ost;
+using aio::sim::Engine;
+using aio::sim::Rng;
+using aio::sim::Time;
+
+struct Rig {
+  Engine engine;
+  std::vector<std::unique_ptr<Ost>> osts;
+  std::vector<Ost*> ptrs;
+
+  explicit Rig(int n, Ost::Config c = {}) {
+    for (int i = 0; i < n; ++i) {
+      osts.push_back(std::make_unique<Ost>(engine, c, i));
+      ptrs.push_back(osts.back().get());
+    }
+  }
+};
+
+TEST(BackgroundLoad, DisabledWhenMeanLoadZero) {
+  Rig rig(4);
+  BackgroundLoad::Config c;
+  c.mean_load = 0.0;
+  BackgroundLoad load(rig.engine, Rng(1), c, rig.ptrs);
+  load.start();
+  rig.engine.run_until(3600.0);
+  for (auto* ost : rig.ptrs) {
+    EXPECT_DOUBLE_EQ(ost->disk_load(), 0.0);
+    EXPECT_DOUBLE_EQ(ost->net_load(), 0.0);
+  }
+}
+
+TEST(BackgroundLoad, AppliesLoadWithinBounds) {
+  Rig rig(16);
+  BackgroundLoad load(rig.engine, Rng(42), BackgroundLoad::production_heavy(), rig.ptrs);
+  load.start();
+  rig.engine.run_until(7200.0);
+  bool any_loaded = false;
+  for (std::size_t i = 0; i < rig.ptrs.size(); ++i) {
+    const double l = load.current_load(i);
+    EXPECT_GE(l, 0.0);
+    EXPECT_LE(l, load.config().max_load);
+    EXPECT_DOUBLE_EQ(rig.ptrs[i]->disk_load(), l);
+    if (l > 0.05) any_loaded = true;
+  }
+  EXPECT_TRUE(any_loaded);
+}
+
+TEST(BackgroundLoad, LoadVariesOverTimeAndAcrossOsts) {
+  Rig rig(8);
+  BackgroundLoad load(rig.engine, Rng(7), BackgroundLoad::production_heavy(), rig.ptrs);
+  load.start();
+  rig.engine.run_until(60.0);
+  std::vector<double> snap1;
+  for (std::size_t i = 0; i < 8; ++i) snap1.push_back(load.current_load(i));
+  rig.engine.run_until(3600.0);
+  std::vector<double> snap2;
+  for (std::size_t i = 0; i < 8; ++i) snap2.push_back(load.current_load(i));
+
+  // Heterogeneous across OSTs at a fixed time...
+  bool hetero = false;
+  for (std::size_t i = 1; i < 8; ++i)
+    if (std::abs(snap1[i] - snap1[0]) > 1e-6) hetero = true;
+  EXPECT_TRUE(hetero);
+  // ...and time-varying per OST.
+  bool varies = false;
+  for (std::size_t i = 0; i < 8; ++i)
+    if (std::abs(snap1[i] - snap2[i]) > 1e-6) varies = true;
+  EXPECT_TRUE(varies);
+}
+
+TEST(BackgroundLoad, DeterministicForFixedSeed) {
+  auto sample = [](std::uint64_t seed) {
+    Rig rig(8);
+    BackgroundLoad load(rig.engine, Rng(seed), BackgroundLoad::production_heavy(), rig.ptrs);
+    load.start();
+    rig.engine.run_until(1800.0);
+    std::vector<double> out;
+    for (std::size_t i = 0; i < 8; ++i) out.push_back(load.current_load(i));
+    return out;
+  };
+  EXPECT_EQ(sample(99), sample(99));
+  EXPECT_NE(sample(99), sample(100));
+}
+
+TEST(BackgroundLoad, QuietPresetIsMuchLighterThanHeavy) {
+  auto mean_load = [](BackgroundLoad::Config cfg) {
+    Rig rig(32);
+    BackgroundLoad load(rig.engine, Rng(5), cfg, rig.ptrs);
+    load.start();
+    double acc = 0.0;
+    int n = 0;
+    for (int t = 600; t <= 7200; t += 600) {
+      rig.engine.run_until(t);
+      for (std::size_t i = 0; i < 32; ++i) acc += load.current_load(i), ++n;
+    }
+    return acc / n;
+  };
+  const double heavy = mean_load(BackgroundLoad::production_heavy());
+  const double quiet = mean_load(BackgroundLoad::quiet());
+  EXPECT_GT(heavy, 5.0 * quiet);
+  EXPECT_GT(heavy, 0.2);
+  EXPECT_LT(quiet, 0.1);
+}
+
+TEST(InterferenceJob, OccupiesConfiguredOstsOnly) {
+  Ost::Config c;
+  c.ingest_bw = 1e9;
+  c.disk_bw = 1e9;
+  c.cache_bytes = 1e9;
+  Rig rig(16, c);
+  InterferenceJob::Config jc;
+  jc.n_osts = 8;
+  jc.writers_per_ost = 3;
+  jc.bytes_per_write = 1e8;
+  InterferenceJob job(rig.engine, jc, rig.ptrs, /*first_ost=*/4);
+  job.start();
+  rig.engine.run_until(0.5);
+  for (int i = 0; i < 16; ++i) {
+    if (i >= 4 && i < 12) {
+      EXPECT_EQ(rig.ptrs[i]->active_ops(), 3u) << "ost " << i;
+    } else {
+      EXPECT_EQ(rig.ptrs[i]->active_ops(), 0u) << "ost " << i;
+    }
+  }
+  job.stop();
+}
+
+TEST(InterferenceJob, WritesContinuouslyUntilStopped) {
+  Ost::Config c;
+  c.ingest_bw = 1e9;
+  c.disk_bw = 1e9;
+  c.cache_bytes = 1e9;
+  Rig rig(8, c);
+  InterferenceJob::Config jc;
+  jc.n_osts = 8;
+  jc.writers_per_ost = 3;
+  jc.bytes_per_write = 1e8;  // ~0.3 s per write at shared rate
+  InterferenceJob job(rig.engine, jc, rig.ptrs);
+  job.start();
+  rig.engine.run_until(10.0);
+  const auto completed_at_10s = job.completed_writes();
+  EXPECT_GT(completed_at_10s, 50u);  // kept re-issuing
+  job.stop();
+  EXPECT_FALSE(job.running());
+  // After stop, the queue drains and nothing else completes.
+  rig.engine.run();
+  EXPECT_EQ(job.completed_writes(), completed_at_10s);
+  for (auto* ost : rig.ptrs) EXPECT_EQ(ost->active_ops(), 0u);
+}
+
+TEST(InterferenceJob, StopWithoutStartIsNoop) {
+  Rig rig(8);
+  InterferenceJob job(rig.engine, {}, rig.ptrs);
+  job.stop();
+  EXPECT_FALSE(job.running());
+}
+
+TEST(InterferenceJob, RestartAfterStopWorks) {
+  Ost::Config c;
+  c.ingest_bw = 1e9;
+  c.disk_bw = 1e9;
+  Rig rig(8, c);
+  InterferenceJob::Config jc;
+  jc.bytes_per_write = 1e8;
+  InterferenceJob job(rig.engine, jc, rig.ptrs);
+  job.start();
+  rig.engine.run_until(5.0);
+  job.stop();
+  rig.engine.run_until(6.0);
+  job.start();
+  EXPECT_TRUE(job.running());
+  rig.engine.run_until(11.0);
+  EXPECT_GT(job.completed_writes(), 0u);
+  job.stop();
+}
+
+TEST(InterferenceJob, SlowsAForegroundWriterOnSharedOst) {
+  Ost::Config c;
+  c.ingest_bw = 100.0;
+  c.disk_bw = 10.0;
+  c.cache_bytes = 1e9;
+  // Foreground-only timing.
+  Time alone = -1;
+  {
+    Rig rig(1, c);
+    rig.ptrs[0]->write(100.0, Ost::Mode::Durable, [&](Time t) { alone = t; });
+    rig.engine.run();
+  }
+  // Same write with the interference job hammering the OST.
+  Time contended = -1;
+  {
+    Rig rig(1, c);
+    InterferenceJob::Config jc;
+    jc.n_osts = 1;
+    jc.writers_per_ost = 3;
+    jc.bytes_per_write = 1e6;
+    InterferenceJob job(rig.engine, jc, rig.ptrs);
+    job.start();
+    rig.ptrs[0]->write(100.0, Ost::Mode::Durable, [&](Time t) {
+      contended = t;
+      job.stop();
+    });
+    rig.engine.run();
+  }
+  EXPECT_GT(contended, 2.0 * alone);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// Tests for the fair-share drain semantics of the OST model — the property
+// that distinguishes it from a global-FIFO cache: one client's backlog must
+// not serialize another client's small synchronous write behind it.
+#include <gtest/gtest.h>
+
+#include "fs/ost.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using aio::fs::Ost;
+using aio::sim::Engine;
+using aio::sim::Time;
+
+Ost::Config cfg(double cache = 1e9) {
+  Ost::Config c;
+  c.ingest_bw = 1000.0;
+  c.disk_bw = 100.0;
+  c.cache_bytes = cache;
+  c.alpha = 0.0;
+  c.eff_floor = 0.0;
+  return c;
+}
+
+TEST(OstFairness2, SmallDurableWriteNotSerializedBehindBigBacklog) {
+  Engine e;
+  Ost ost(e, cfg());
+  // A big client ingests 10000 B instantly (dirty backlog ~10 s of drain).
+  ost.write(10000.0, Ost::Mode::Durable, [](Time) {});
+  Time small_done = -1;
+  e.schedule_at(1.0, [&] {
+    // A newcomer's 100 B durable write: under fair sharing it drains at
+    // 50 B/s (half the disk) -> ~2 s, NOT behind the 10 s backlog.
+    ost.write(100.0, Ost::Mode::Durable, [&](Time t) { small_done = t; });
+  });
+  e.run();
+  EXPECT_GT(small_done, 2.0);
+  EXPECT_LT(small_done, 4.5);  // far sooner than the ~10 s FIFO would give
+}
+
+TEST(OstFairness2, EqualClientsProgressAtEqualRates) {
+  Engine e;
+  Ost ost(e, cfg());
+  std::vector<Time> done(4, -1.0);
+  for (int i = 0; i < 4; ++i)
+    ost.write(250.0, Ost::Mode::Durable, [&done, i](Time t) { done[i] = t; });
+  e.run();
+  // 1000 B total at 100 B/s, each draining at 25 B/s -> all finish at ~10 s.
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(done[i], 10.0, 0.3);
+}
+
+TEST(OstFairness2, ShortWriteFinishesBeforeLongOne) {
+  Engine e;
+  Ost ost(e, cfg());
+  Time short_done = -1, long_done = -1;
+  ost.write(100.0, Ost::Mode::Durable, [&](Time t) { short_done = t; });
+  ost.write(900.0, Ost::Mode::Durable, [&](Time t) { long_done = t; });
+  e.run();
+  // Shared 50/50 until the short one's 100 B drain (t=2), then the long one
+  // gets the full disk: 900 B total -> 2 + 800/100 = 10.
+  EXPECT_NEAR(short_done, 2.0, 0.1);
+  EXPECT_NEAR(long_done, 10.0, 0.2);
+  EXPECT_LT(short_done, long_done);
+}
+
+TEST(OstFairness2, OrphanResidueSharesDrainWithDurableClient) {
+  Engine e;
+  Ost ost(e, cfg());
+  // Cached write completes instantly, leaving ~1000 B of orphan residue.
+  Time cached_done = -1;
+  ost.write(1000.0, Ost::Mode::Cached, [&](Time t) { cached_done = t; });
+  Time durable_done = -1;
+  e.schedule_at(2.0, [&] {
+    ost.write(100.0, Ost::Mode::Durable, [&](Time t) { durable_done = t; });
+  });
+  e.run();
+  EXPECT_NEAR(cached_done, 1.0, 0.1);
+  // From t=2 the durable write shares the drain with the orphan pool:
+  // 100 B at ~50 B/s -> done ~4 s; never waits the orphan's full ~10 s.
+  EXPECT_LT(durable_done, 5.0);
+  EXPECT_GT(durable_done, 3.5);
+}
+
+TEST(OstFairness2, FlushIgnoresOtherClientsDurableBacklog) {
+  Engine e;
+  Ost ost(e, cfg());
+  // Another client's giant durable op is in flight.
+  ost.write(50000.0, Ost::Mode::Durable, [](Time) {});
+  // Our client has nothing cached: a flush barrier completes immediately.
+  Time flush_done = -1;
+  e.schedule_at(1.0, [&] { ost.flush([&](Time t) { flush_done = t; }); });
+  e.run();
+  EXPECT_NEAR(flush_done, 1.0, 0.1);
+}
+
+TEST(OstFairness2, FlushWaitsForOwnCachedResidue) {
+  Engine e;
+  Ost ost(e, cfg());
+  ost.write(500.0, Ost::Mode::Cached, [](Time) {});
+  Time flush_done = -1;
+  e.schedule_at(1.0, [&] { ost.flush([&](Time t) { flush_done = t; }); });
+  e.run();
+  // ~500 B residue at 100 B/s -> flush near t=5.
+  EXPECT_NEAR(flush_done, 5.0, 0.3);
+}
+
+TEST(OstFairness2, AbortedDurableBytesStillDrainAsOrphan) {
+  Engine e;
+  Ost ost(e, cfg());
+  const auto id = ost.write(1000.0, Ost::Mode::Durable, [](Time) {});
+  e.schedule_at(1.0, [&] {
+    ost.abort(id);
+    EXPECT_GT(ost.cache_occupancy(), 800.0);  // residue preserved
+  });
+  Time flush_done = -1;
+  e.schedule_at(1.5, [&] { ost.flush([&](Time t) { flush_done = t; }); });
+  e.run();
+  EXPECT_GT(flush_done, 8.0);  // flush waits for the orphaned residue
+  EXPECT_NEAR(ost.cache_occupancy(), 0.0, 1.0);
+}
+
+TEST(OstFairness2, PerOpLatencyDelaysCompletionDelivery) {
+  Engine e;
+  Ost::Config c = cfg();
+  c.op_latency_s = 0.25;
+  Ost ost(e, c);
+  Time done = -1;
+  ost.write(100.0, Ost::Mode::Durable, [&](Time t) { done = t; });
+  e.run();
+  EXPECT_NEAR(done, 1.0 + 0.25, 0.05);  // drain 1 s + fixed op overhead
+}
+
+TEST(OstFairness2, SerializedChainPaysLatencyPerLink) {
+  Engine e;
+  Ost::Config c = cfg();
+  c.op_latency_s = 0.25;
+  Ost ost(e, c);
+  Time done = -1;
+  // Three chained 100 B durable writes: 3 x (1 s drain + 0.25 s overhead).
+  std::function<void(int)> chain = [&](int remaining) {
+    ost.write(100.0, Ost::Mode::Durable, [&, remaining](Time t) {
+      if (remaining > 1) {
+        chain(remaining - 1);
+      } else {
+        done = t;
+      }
+    });
+  };
+  chain(3);
+  e.run();
+  EXPECT_NEAR(done, 3.75, 0.1);
+}
+
+}  // namespace

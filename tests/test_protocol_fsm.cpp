@@ -1,0 +1,520 @@
+// Unit tests for the three protocol state machines in isolation
+// (paper Algorithms 1-3).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/protocol/coordinator_fsm.hpp"
+#include "core/protocol/subcoordinator_fsm.hpp"
+#include "core/protocol/writer_fsm.hpp"
+
+namespace {
+
+using namespace aio::core;
+
+Rank sc_of_identity(GroupId g) { return g * 10; }  // group g's SC is rank 10g
+
+// --- helpers ----------------------------------------------------------------
+
+template <typename T>
+const T* find_action(const Actions& actions) {
+  for (const auto& a : actions)
+    if (const T* v = std::get_if<T>(&a)) return v;
+  return nullptr;
+}
+
+template <typename T>
+std::vector<const T*> find_all(const Actions& actions) {
+  std::vector<const T*> out;
+  for (const auto& a : actions)
+    if (const T* v = std::get_if<T>(&a)) out.push_back(v);
+  return out;
+}
+
+const SendAction* find_send_to(const Actions& actions, Rank to) {
+  for (const auto& a : actions) {
+    if (const auto* s = std::get_if<SendAction>(&a)) {
+      if (s->to == to) return s;
+    }
+  }
+  return nullptr;
+}
+
+WriterFsm::Config writer_cfg(Rank rank, GroupId group, double bytes) {
+  WriterFsm::Config c;
+  c.rank = rank;
+  c.group = group;
+  c.my_sc = sc_of_identity(group);
+  c.bytes = bytes;
+  c.blueprint.writer = rank;
+  BlockRecord b;
+  b.writer = rank;
+  b.var_id = 0;
+  b.length = static_cast<std::uint64_t>(bytes);
+  c.blueprint.blocks.push_back(b);
+  c.sc_of = sc_of_identity;
+  return c;
+}
+
+// --- WriterFsm ---------------------------------------------------------------
+
+TEST(WriterFsm, LocalWriteEmitsWriteThenReports) {
+  WriterFsm w(writer_cfg(11, 1, 1000.0));
+  EXPECT_EQ(w.state(), WriterFsm::State::Idle);
+
+  const Actions a1 = w.on_do_write(DoWrite{1, 5000.0});
+  EXPECT_EQ(w.state(), WriterFsm::State::Writing);
+  ASSERT_EQ(a1.size(), 1u);
+  const auto* write = find_action<StartWriteAction>(a1);
+  ASSERT_NE(write, nullptr);
+  EXPECT_EQ(write->file, 1);
+  EXPECT_DOUBLE_EQ(write->offset, 5000.0);
+  EXPECT_DOUBLE_EQ(write->bytes, 1000.0);
+
+  // Local index stamped with the assigned offset.
+  ASSERT_TRUE(w.local_index());
+  EXPECT_EQ(w.local_index()->file, 1);
+  EXPECT_EQ(w.local_index()->blocks[0].file_offset, 5000u);
+  EXPECT_FALSE(w.wrote_adaptively());
+
+  const Actions a2 = w.on_write_done();
+  EXPECT_EQ(w.state(), WriterFsm::State::Done);
+  // Local write: one WRITE_COMPLETE (to own SC), one INDEX_BODY, role done.
+  const auto sends = find_all<SendAction>(a2);
+  ASSERT_EQ(sends.size(), 2u);
+  EXPECT_EQ(sends[0]->to, sc_of_identity(1));
+  const auto* done = std::get_if<WriteComplete>(&sends[0]->msg.body);
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->kind, WriteComplete::Kind::WriterDone);
+  EXPECT_EQ(done->writer, 11);
+  EXPECT_EQ(done->file, 1);
+  EXPECT_GT(done->index_bytes, 0.0);
+  const auto* idx = std::get_if<IndexBody>(&sends[1]->msg.body);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->index->writer, 11);
+  EXPECT_NE(find_action<RoleDoneAction>(a2), nullptr);
+}
+
+TEST(WriterFsm, AdaptiveWriteNotifiesBothScs) {
+  WriterFsm w(writer_cfg(11, 1, 1000.0));
+  w.on_do_write(DoWrite{3, 0.0});  // redirected to group 3's file
+  EXPECT_TRUE(w.wrote_adaptively());
+  const Actions a = w.on_write_done();
+  const auto sends = find_all<SendAction>(a);
+  ASSERT_EQ(sends.size(), 3u);
+  EXPECT_EQ(sends[0]->to, sc_of_identity(1));  // triggering SC
+  EXPECT_EQ(sends[1]->to, sc_of_identity(3));  // target SC
+  EXPECT_EQ(sends[2]->to, sc_of_identity(3));  // index to target SC
+  EXPECT_TRUE(std::holds_alternative<IndexBody>(sends[2]->msg.body));
+  // Index is tagged with the *target* file.
+  EXPECT_EQ(std::get<IndexBody>(sends[2]->msg.body).index->file, 3);
+}
+
+TEST(WriterFsm, DoubleDoWriteThrows) {
+  WriterFsm w(writer_cfg(1, 0, 10.0));
+  w.on_do_write(DoWrite{0, 0.0});
+  EXPECT_THROW(w.on_do_write(DoWrite{0, 0.0}), std::logic_error);
+}
+
+TEST(WriterFsm, WriteDoneBeforeDoWriteThrows) {
+  WriterFsm w(writer_cfg(1, 0, 10.0));
+  EXPECT_THROW(w.on_write_done(), std::logic_error);
+}
+
+TEST(WriterFsm, InvalidConfigThrows) {
+  WriterFsm::Config c = writer_cfg(1, 0, 10.0);
+  c.bytes = 0.0;
+  EXPECT_THROW(WriterFsm{c}, std::invalid_argument);
+  WriterFsm::Config c2 = writer_cfg(1, 0, 10.0);
+  c2.sc_of = nullptr;
+  EXPECT_THROW(WriterFsm{c2}, std::invalid_argument);
+}
+
+// --- SubCoordinatorFsm -------------------------------------------------------
+
+SubCoordinatorFsm::Config sc_cfg(GroupId group, std::vector<Rank> members,
+                                 std::vector<double> bytes, std::size_t k = 1) {
+  SubCoordinatorFsm::Config c;
+  c.group = group;
+  c.rank = members.empty() ? 0 : members.front();
+  c.coordinator = 0;
+  c.members = std::move(members);
+  c.member_bytes = std::move(bytes);
+  c.max_concurrent = k;
+  return c;
+}
+
+WriteComplete writer_done(Rank writer, GroupId origin, GroupId file, double bytes,
+                          double index_bytes = 64.0) {
+  WriteComplete m;
+  m.kind = WriteComplete::Kind::WriterDone;
+  m.writer = writer;
+  m.origin_group = origin;
+  m.file = file;
+  m.bytes = bytes;
+  m.index_bytes = index_bytes;
+  return m;
+}
+
+IndexBody index_for(Rank writer, GroupId file, std::uint64_t offset, std::uint64_t len) {
+  auto idx = std::make_shared<LocalIndex>();
+  idx->writer = writer;
+  idx->file = file;
+  BlockRecord b;
+  b.writer = writer;
+  b.file_offset = offset;
+  b.length = len;
+  idx->blocks.push_back(b);
+  return IndexBody{idx};
+}
+
+TEST(SubCoordinatorFsm, SerializesWritersOneAtATime) {
+  SubCoordinatorFsm sc(sc_cfg(0, {10, 11, 12}, {100.0, 200.0, 300.0}));
+  const Actions a0 = sc.start();
+  // Exactly one writer signalled (max_concurrent = 1): the SC itself first.
+  const auto sends = find_all<SendAction>(a0);
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0]->to, 10);
+  const auto* dw = std::get_if<DoWrite>(&sends[0]->msg.body);
+  ASSERT_NE(dw, nullptr);
+  EXPECT_EQ(dw->target_file, 0);
+  EXPECT_DOUBLE_EQ(dw->offset, 0.0);
+  EXPECT_EQ(sc.waiting(), 2u);
+
+  // First completion triggers the next writer at the next offset.
+  const Actions a1 = sc.on_write_complete(writer_done(10, 0, 0, 100.0));
+  const auto* next = find_send_to(a1, 11);
+  ASSERT_NE(next, nullptr);
+  EXPECT_DOUBLE_EQ(std::get<DoWrite>(next->msg.body).offset, 100.0);
+  EXPECT_EQ(sc.writers_remaining(), 2u);
+  EXPECT_EQ(sc.completions_into_file(), 1u);
+}
+
+TEST(SubCoordinatorFsm, ConcurrencyWindowSignalsKWriters) {
+  SubCoordinatorFsm sc(sc_cfg(0, {10, 11, 12, 13}, {100, 100, 100, 100}, /*k=*/2));
+  const Actions a0 = sc.start();
+  EXPECT_EQ(find_all<SendAction>(a0).size(), 2u);
+  EXPECT_EQ(sc.waiting(), 2u);
+  const Actions a1 = sc.on_write_complete(writer_done(10, 0, 0, 100.0));
+  EXPECT_EQ(find_all<SendAction>(a1).size(), 1u);  // refill to 2 in flight
+}
+
+TEST(SubCoordinatorFsm, LastCompletionSendsGroupDoneWithFinalOffset) {
+  SubCoordinatorFsm sc(sc_cfg(2, {20, 21}, {100.0, 50.0}));
+  sc.start();
+  sc.on_write_complete(writer_done(20, 2, 2, 100.0));
+  const Actions a = sc.on_write_complete(writer_done(21, 2, 2, 50.0));
+  const auto* to_c = find_send_to(a, 0);
+  ASSERT_NE(to_c, nullptr);
+  const auto* done = std::get_if<WriteComplete>(&to_c->msg.body);
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->kind, WriteComplete::Kind::GroupDone);
+  EXPECT_EQ(done->origin_group, 2);
+  EXPECT_DOUBLE_EQ(done->final_offset, 150.0);
+  EXPECT_EQ(sc.state(), SubCoordinatorFsm::State::Draining);
+}
+
+TEST(SubCoordinatorFsm, AdaptiveRedirectForwardsAdaptiveDoneToC) {
+  SubCoordinatorFsm sc(sc_cfg(0, {10, 11, 12}, {100, 100, 100}));
+  sc.start();
+  // C asks this SC to send a writer to file 5 at offset 7000.
+  const Actions grant = sc.on_adaptive_write_start(AdaptiveWriteStart{5, 7000.0});
+  const auto sends = find_all<SendAction>(grant);
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0]->to, 11);  // next waiting writer
+  const auto& dw = std::get<DoWrite>(sends[0]->msg.body);
+  EXPECT_EQ(dw.target_file, 5);
+  EXPECT_DOUBLE_EQ(dw.offset, 7000.0);
+  EXPECT_EQ(sc.waiting(), 1u);
+
+  // That writer completes remotely: SC forwards an adaptive WRITE_COMPLETE.
+  const Actions fwd = sc.on_write_complete(writer_done(11, 0, 5, 100.0));
+  const auto* to_c = find_send_to(fwd, 0);
+  ASSERT_NE(to_c, nullptr);
+  EXPECT_EQ(std::get<WriteComplete>(to_c->msg.body).kind, WriteComplete::Kind::AdaptiveDone);
+  EXPECT_EQ(std::get<WriteComplete>(to_c->msg.body).file, 5);
+  EXPECT_EQ(sc.redirected_members(), 1u);
+  // The redirected write does not count into this SC's own file.
+  EXPECT_EQ(sc.completions_into_file(), 0u);
+}
+
+TEST(SubCoordinatorFsm, RepliesWritersBusyWhenQueueEmpty) {
+  SubCoordinatorFsm sc(sc_cfg(1, {10}, {100.0}));
+  sc.start();  // the only member is in flight; queue empty
+  const Actions a = sc.on_adaptive_write_start(AdaptiveWriteStart{4, 0.0});
+  const auto* to_c = find_send_to(a, 0);
+  ASSERT_NE(to_c, nullptr);
+  const auto* busy = std::get_if<WritersBusy>(&to_c->msg.body);
+  ASSERT_NE(busy, nullptr);
+  EXPECT_EQ(busy->group, 1);
+  EXPECT_EQ(busy->target_file, 4);
+}
+
+TEST(SubCoordinatorFsm, IndexPhaseWaitsForExpectedIndices) {
+  SubCoordinatorFsm sc(sc_cfg(0, {10, 11}, {100.0, 100.0}));
+  sc.start();
+  sc.on_write_complete(writer_done(10, 0, 0, 100.0));
+  sc.on_write_complete(writer_done(11, 0, 0, 100.0));
+  // A remote adaptive writer also landed in this file.
+  sc.on_write_complete(writer_done(55, 7, 0, 40.0));
+
+  // OVERALL arrives expecting 3 indices; only after the third INDEX_BODY
+  // does the index write begin.
+  Actions a = sc.on_overall_write_complete(OverallWriteComplete{3, 240.0});
+  EXPECT_EQ(find_action<WriteIndexAction>(a), nullptr);
+  a = sc.on_index_body(index_for(10, 0, 0, 100));
+  EXPECT_EQ(find_action<WriteIndexAction>(a), nullptr);
+  a = sc.on_index_body(index_for(11, 0, 100, 100));
+  EXPECT_EQ(find_action<WriteIndexAction>(a), nullptr);
+  a = sc.on_index_body(index_for(55, 0, 200, 40));
+  const auto* widx = find_action<WriteIndexAction>(a);
+  ASSERT_NE(widx, nullptr);
+  EXPECT_EQ(widx->file, 0);
+  EXPECT_DOUBLE_EQ(widx->offset, 240.0);  // index appended after all data
+  EXPECT_GT(widx->bytes, 0.0);
+  EXPECT_EQ(sc.state(), SubCoordinatorFsm::State::IndexWriting);
+
+  // Index write completion ships the merged index to C.
+  const Actions fin = sc.on_index_write_done();
+  const auto* to_c = find_send_to(fin, 0);
+  ASSERT_NE(to_c, nullptr);
+  const auto* sub = std::get_if<SubIndex>(&to_c->msg.body);
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->index->blocks().size(), 3u);
+  EXPECT_TRUE(sub->index->covers_contiguously(240));
+  EXPECT_NE(find_action<RoleDoneAction>(fin), nullptr);
+  EXPECT_EQ(sc.state(), SubCoordinatorFsm::State::Done);
+}
+
+TEST(SubCoordinatorFsm, IndicesMayArriveBeforeOverall) {
+  SubCoordinatorFsm sc(sc_cfg(0, {10}, {100.0}));
+  sc.start();
+  sc.on_write_complete(writer_done(10, 0, 0, 100.0));
+  sc.on_index_body(index_for(10, 0, 0, 100));
+  const Actions a = sc.on_overall_write_complete(OverallWriteComplete{1, 100.0});
+  EXPECT_NE(find_action<WriteIndexAction>(a), nullptr);
+}
+
+TEST(SubCoordinatorFsm, RejectsForeignIndex) {
+  SubCoordinatorFsm sc(sc_cfg(0, {10}, {100.0}));
+  sc.start();
+  EXPECT_THROW(sc.on_index_body(index_for(10, /*file=*/9, 0, 100)), std::logic_error);
+}
+
+TEST(SubCoordinatorFsm, InvalidConfigThrows) {
+  EXPECT_THROW(SubCoordinatorFsm(sc_cfg(0, {}, {})), std::invalid_argument);
+  EXPECT_THROW(SubCoordinatorFsm(sc_cfg(0, {10}, {1.0, 2.0})), std::invalid_argument);
+  auto bad_first = sc_cfg(0, {10, 11}, {1.0, 1.0});
+  bad_first.rank = 11;
+  EXPECT_THROW(SubCoordinatorFsm{bad_first}, std::invalid_argument);
+  auto zero_k = sc_cfg(0, {10}, {1.0});
+  zero_k.max_concurrent = 0;
+  EXPECT_THROW(SubCoordinatorFsm{zero_k}, std::invalid_argument);
+}
+
+// --- CoordinatorFsm ----------------------------------------------------------
+
+CoordinatorFsm::Config coord_cfg(std::vector<std::size_t> sizes, bool stealing = true) {
+  CoordinatorFsm::Config c;
+  c.n_groups = sizes.size();
+  c.group_sizes = std::move(sizes);
+  c.sc_of = sc_of_identity;
+  c.rank = 0;
+  c.stealing_enabled = stealing;
+  return c;
+}
+
+WriteComplete group_done(GroupId g, double final_offset) {
+  WriteComplete m;
+  m.kind = WriteComplete::Kind::GroupDone;
+  m.origin_group = g;
+  m.file = g;
+  m.final_offset = final_offset;
+  return m;
+}
+
+WriteComplete adaptive_done(Rank writer, GroupId origin, GroupId file, double bytes) {
+  WriteComplete m;
+  m.kind = WriteComplete::Kind::AdaptiveDone;
+  m.writer = writer;
+  m.origin_group = origin;
+  m.file = file;
+  m.bytes = bytes;
+  return m;
+}
+
+TEST(CoordinatorFsm, FirstGroupDoneTriggersGrantToWritingSc) {
+  CoordinatorFsm c(coord_cfg({4, 4, 4}));
+  const Actions a = c.on_write_complete(group_done(1, 400.0));
+  EXPECT_EQ(c.sc_state(1), CoordinatorFsm::ScState::Complete);
+  const auto sends = find_all<SendAction>(a);
+  ASSERT_EQ(sends.size(), 1u);
+  const auto* grant = std::get_if<AdaptiveWriteStart>(&sends[0]->msg.body);
+  ASSERT_NE(grant, nullptr);
+  EXPECT_EQ(grant->target_file, 1);
+  EXPECT_DOUBLE_EQ(grant->offset, 400.0);  // append after the file's data
+  EXPECT_EQ(c.outstanding_grants(), 1u);
+}
+
+TEST(CoordinatorFsm, AdaptiveDoneAdvancesOffsetAndRegrants) {
+  CoordinatorFsm c(coord_cfg({4, 4, 4}));
+  c.on_write_complete(group_done(1, 400.0));
+  const Actions a = c.on_write_complete(adaptive_done(7, 0, 1, 100.0));
+  EXPECT_EQ(c.total_steals(), 1u);
+  const auto sends = find_all<SendAction>(a);
+  ASSERT_EQ(sends.size(), 1u);  // file 1 refilled with a new grant
+  const auto& grant = std::get<AdaptiveWriteStart>(sends[0]->msg.body);
+  EXPECT_EQ(grant.target_file, 1);
+  EXPECT_DOUBLE_EQ(grant.offset, 500.0);  // 400 + the 100 just written
+}
+
+TEST(CoordinatorFsm, WritersBusyMarksScAndRetriesElsewhere) {
+  CoordinatorFsm c(coord_cfg({4, 4, 4}));
+  const Actions first = c.on_write_complete(group_done(2, 100.0));
+  const Rank first_target = find_all<SendAction>(first)[0]->to;
+  // That SC declines.
+  const GroupId declining = first_target / 10;
+  const Actions retry = c.on_writers_busy(WritersBusy{declining, 2});
+  EXPECT_EQ(c.sc_state(declining), CoordinatorFsm::ScState::Busy);
+  const auto sends = find_all<SendAction>(retry);
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_NE(sends[0]->to, first_target);  // a different writing SC
+  EXPECT_EQ(c.outstanding_grants(), 1u);
+}
+
+TEST(CoordinatorFsm, GrantsSpreadRoundRobinAcrossWritingScs) {
+  CoordinatorFsm c(coord_cfg({4, 4, 4, 4}));
+  const Actions a1 = c.on_write_complete(group_done(3, 100.0));
+  const Actions a2 = c.on_write_complete(adaptive_done(1, 0, 3, 10.0));
+  const Rank t1 = find_all<SendAction>(a1)[0]->to;
+  const Rank t2 = find_all<SendAction>(a2)[0]->to;
+  EXPECT_NE(t1, t2);  // round-robin rotation
+}
+
+TEST(CoordinatorFsm, StealingDisabledIssuesNoGrants) {
+  CoordinatorFsm c(coord_cfg({4, 4}, /*stealing=*/false));
+  const Actions a = c.on_write_complete(group_done(0, 100.0));
+  EXPECT_EQ(find_all<SendAction>(a).size(), 0u);
+  EXPECT_EQ(c.grants_issued(), 0u);
+}
+
+TEST(CoordinatorFsm, AllCompleteBroadcastsOverallWithExpectations) {
+  CoordinatorFsm c(coord_cfg({2, 2}));
+  // Group 1 finishes; its grant goes to group 0's SC, which declines
+  // (simulating no waiting writers), then group 0 finishes.
+  Actions a = c.on_write_complete(group_done(1, 200.0));
+  ASSERT_EQ(find_all<SendAction>(a).size(), 1u);
+  a = c.on_writers_busy(WritersBusy{0, 1});
+  EXPECT_EQ(find_all<SendAction>(a).size(), 0u);  // no other writing SC
+  a = c.on_write_complete(group_done(0, 200.0));
+  // Both complete, nothing outstanding: OVERALL to both SCs.
+  const auto sends = find_all<SendAction>(a);
+  ASSERT_EQ(sends.size(), 2u);
+  for (const auto* s : sends) {
+    const auto* overall = std::get_if<OverallWriteComplete>(&s->msg.body);
+    ASSERT_NE(overall, nullptr);
+    EXPECT_EQ(overall->expected_indices, 2u);  // no steals happened
+    EXPECT_DOUBLE_EQ(overall->final_data_offset, 200.0);
+  }
+  EXPECT_EQ(c.state(), CoordinatorFsm::State::IndexGathering);
+}
+
+TEST(CoordinatorFsm, ExpectationsAccountForSteals) {
+  CoordinatorFsm c(coord_cfg({3, 1}));
+  Actions a = c.on_write_complete(group_done(1, 50.0));  // grant -> SC 0
+  ASSERT_EQ(find_all<SendAction>(a).size(), 1u);
+  a = c.on_write_complete(adaptive_done(2, 0, 1, 25.0));  // writer 2 stolen
+  ASSERT_EQ(find_all<SendAction>(a).size(), 1u);          // re-grant
+  a = c.on_writers_busy(WritersBusy{0, 1});               // now empty
+  a = c.on_write_complete(group_done(0, 75.0));
+  const auto sends = find_all<SendAction>(a);
+  ASSERT_EQ(sends.size(), 2u);
+  const auto& overall0 = std::get<OverallWriteComplete>(sends[0]->msg.body);
+  const auto& overall1 = std::get<OverallWriteComplete>(sends[1]->msg.body);
+  EXPECT_EQ(overall0.expected_indices, 2u);  // 3 members - 1 stolen
+  EXPECT_EQ(overall1.expected_indices, 2u);  // 1 member + 1 adaptive arrival
+  EXPECT_DOUBLE_EQ(overall1.final_data_offset, 75.0);  // 50 + 25 stolen bytes
+}
+
+TEST(CoordinatorFsm, SubIndicesTriggerGlobalIndexWrite) {
+  CoordinatorFsm c(coord_cfg({1, 1}));
+  c.on_write_complete(group_done(0, 10.0));
+  c.on_writers_busy(WritersBusy{1, 0});
+  c.on_write_complete(group_done(1, 10.0));
+  ASSERT_EQ(c.state(), CoordinatorFsm::State::IndexGathering);
+
+  auto fi0 = std::make_shared<FileIndex>(0);
+  auto fi1 = std::make_shared<FileIndex>(1);
+  Actions a = c.on_sub_index(SubIndex{0, fi0});
+  EXPECT_EQ(find_action<WriteGlobalIndexAction>(a), nullptr);
+  a = c.on_sub_index(SubIndex{1, fi1});
+  ASSERT_NE(find_action<WriteGlobalIndexAction>(a), nullptr);
+  EXPECT_EQ(c.state(), CoordinatorFsm::State::IndexWriting);
+  EXPECT_EQ(c.global_index().n_files(), 2u);
+
+  const Actions fin = c.on_global_index_write_done();
+  EXPECT_NE(find_action<RoleDoneAction>(fin), nullptr);
+  EXPECT_EQ(c.state(), CoordinatorFsm::State::Done);
+}
+
+TEST(CoordinatorFsm, ProtocolViolationsThrow) {
+  CoordinatorFsm c(coord_cfg({2, 2}));
+  EXPECT_THROW(c.on_write_complete(writer_done(1, 0, 0, 10.0)), std::logic_error);
+  EXPECT_THROW(c.on_write_complete(adaptive_done(1, 0, 1, 10.0)), std::logic_error);
+  EXPECT_THROW(c.on_writers_busy(WritersBusy{0, 1}), std::logic_error);
+  c.on_write_complete(group_done(0, 1.0));
+  EXPECT_THROW(c.on_write_complete(group_done(0, 1.0)), std::logic_error);
+  auto fi = std::make_shared<FileIndex>(0);
+  EXPECT_THROW(c.on_sub_index(SubIndex{0, fi}), std::logic_error);
+}
+
+TEST(CoordinatorFsm, SingleGroupCompletesWithoutGrants) {
+  CoordinatorFsm c(coord_cfg({8}));
+  const Actions a = c.on_write_complete(group_done(0, 800.0));
+  const auto sends = find_all<SendAction>(a);
+  ASSERT_EQ(sends.size(), 1u);  // straight to OVERALL
+  EXPECT_TRUE(std::holds_alternative<OverallWriteComplete>(sends[0]->msg.body));
+  EXPECT_EQ(c.grants_issued(), 0u);
+}
+
+// --- Steal-source policies ----------------------------------------------------
+
+TEST(CoordinatorFsm, MostRemainingPolicyPrefersLongestQueue) {
+  CoordinatorFsm::Config cfg = coord_cfg({2, 6, 4});
+  cfg.steal_source = CoordinatorFsm::StealSource::MostRemaining;
+  CoordinatorFsm c(cfg);
+  // Group 2 finishes: the grant must target group 1's SC (6 remaining),
+  // not round-robin's group 0.
+  Actions a = c.on_write_complete(group_done(2, 100.0));
+  auto sends = find_all<SendAction>(a);
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0]->to, sc_of_identity(1));
+
+  // After stealing from group 1 four times, group 0 (2 left) still loses to
+  // group 1 (2 left): ties keep the first maximal group; steal one more from
+  // group 1 and group 0 becomes strictly larger.
+  for (int i = 0; i < 4; ++i) {
+    a = c.on_write_complete(adaptive_done(10 + i, 1, 2, 10.0));
+    sends = find_all<SendAction>(a);
+    ASSERT_EQ(sends.size(), 1u);
+  }
+  // stolen_from[1] == 4 -> remaining {g0: 2, g1: 2}; first maximal is g0.
+  EXPECT_EQ(sends[0]->to, sc_of_identity(0));
+}
+
+TEST(CoordinatorFsm, MostRemainingSkipsBusyAndCompleteGroups) {
+  CoordinatorFsm::Config cfg = coord_cfg({8, 2, 4});
+  cfg.steal_source = CoordinatorFsm::StealSource::MostRemaining;
+  CoordinatorFsm c(cfg);
+  Actions a = c.on_write_complete(group_done(1, 50.0));
+  auto sends = find_all<SendAction>(a);
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0]->to, sc_of_identity(0));  // 8 remaining beats 4
+  // Group 0 declines -> Busy; the retry must go to group 2.
+  a = c.on_writers_busy(WritersBusy{0, 1});
+  sends = find_all<SendAction>(a);
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0]->to, sc_of_identity(2));
+}
+
+}  // namespace

@@ -1,0 +1,356 @@
+// Integration + property tests for the full writer/SC/coordinator protocol.
+//
+// The FSMs run over an in-memory harness with randomized message delivery
+// order and per-rank write costs — no file system or network model — so this
+// checks the protocol's *logic* under adversarial scheduling:
+//
+//   * every writer writes exactly once, to exactly one file;
+//   * the data regions of each file tile [0, file_size) with no gap/overlap;
+//   * every file index accounts for every block in its file;
+//   * the global index holds every block of every writer;
+//   * total bytes are conserved;
+//   * the protocol terminates (all roles done) for every topology.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "core/protocol/coordinator_fsm.hpp"
+#include "core/protocol/subcoordinator_fsm.hpp"
+#include "core/protocol/writer_fsm.hpp"
+
+namespace {
+
+using namespace aio::core;
+
+struct HarnessOptions {
+  std::size_t n_writers = 8;
+  std::size_t n_groups = 2;
+  std::size_t max_concurrent = 1;
+  bool stealing = true;
+  std::uint64_t seed = 1;
+  /// Relative completion cost of a rank's data write (default: random 1-8).
+  std::function<double(Rank)> write_cost;
+  /// Per-writer payloads (default: 100 * (rank % 3 + 1)).
+  std::function<double(Rank)> bytes_of;
+};
+
+struct FileState {
+  struct Region {
+    double offset;
+    double bytes;
+    Rank writer;
+  };
+  std::vector<Region> regions;
+  double index_bytes = 0.0;
+};
+
+/// Runs the composed protocol to completion; exposes everything written.
+class Harness {
+ public:
+  explicit Harness(HarnessOptions opt) : opt_(std::move(opt)), topo_(opt_.n_writers, opt_.n_groups), rng_(opt_.seed) {
+    if (!opt_.write_cost) {
+      opt_.write_cost = [this](Rank) {
+        return static_cast<double>(1 + (rng_() % 8));
+      };
+    }
+    if (!opt_.bytes_of) {
+      opt_.bytes_of = [](Rank r) { return 100.0 * static_cast<double>(r % 3 + 1); };
+    }
+    build();
+  }
+
+  void run() {
+    for (GroupId g = 0; g < static_cast<GroupId>(topo_.n_groups()); ++g) {
+      const Rank sc = topo_.sc_rank(g);
+      execute(sc, scs_.at(sc)->start());
+    }
+    while (!events_.empty()) {
+      Event ev = pop();
+      ev.fn();
+      if (++executed_ > 5'000'000) FAIL() << "protocol did not terminate";
+    }
+  }
+
+  [[nodiscard]] const std::map<GroupId, FileState>& files() const { return files_; }
+  [[nodiscard]] const CoordinatorFsm& coordinator() const { return *coord_; }
+  [[nodiscard]] std::size_t roles_remaining() const { return roles_remaining_; }
+  [[nodiscard]] const Topology& topo() const { return topo_; }
+  [[nodiscard]] double global_index_bytes() const { return global_index_bytes_; }
+  [[nodiscard]] double bytes_for(Rank r) const { return opt_.bytes_of(r); }
+
+ private:
+  struct Event {
+    double ready;
+    std::uint64_t tiebreak;
+    std::function<void()> fn;
+    bool operator<(const Event& o) const {
+      if (ready != o.ready) return ready > o.ready;  // min-heap
+      return tiebreak > o.tiebreak;
+    }
+  };
+
+  void build() {
+    const auto sc_of = [topo = topo_](GroupId g) { return topo.sc_rank(g); };
+    for (Rank r = 0; r < static_cast<Rank>(opt_.n_writers); ++r) {
+      WriterFsm::Config wc;
+      wc.rank = r;
+      wc.group = topo_.group_of(r);
+      wc.my_sc = topo_.sc_rank(wc.group);
+      wc.bytes = opt_.bytes_of(r);
+      BlockRecord block;
+      block.writer = r;
+      block.length = static_cast<std::uint64_t>(wc.bytes);
+      wc.blueprint.writer = r;
+      wc.blueprint.blocks.push_back(block);
+      wc.sc_of = sc_of;
+      writers_.emplace(r, std::make_unique<WriterFsm>(std::move(wc)));
+    }
+    for (GroupId g = 0; g < static_cast<GroupId>(topo_.n_groups()); ++g) {
+      SubCoordinatorFsm::Config sc;
+      sc.group = g;
+      sc.rank = topo_.sc_rank(g);
+      sc.coordinator = Topology::coordinator_rank();
+      for (std::size_t i = 0; i < topo_.group_size(g); ++i) {
+        const Rank member = topo_.group_begin(g) + static_cast<Rank>(i);
+        sc.members.push_back(member);
+        sc.member_bytes.push_back(opt_.bytes_of(member));
+      }
+      sc.max_concurrent = opt_.max_concurrent;
+      scs_.emplace(sc.rank, std::make_unique<SubCoordinatorFsm>(std::move(sc)));
+    }
+    CoordinatorFsm::Config cc;
+    cc.n_groups = topo_.n_groups();
+    for (GroupId g = 0; g < static_cast<GroupId>(topo_.n_groups()); ++g)
+      cc.group_sizes.push_back(topo_.group_size(g));
+    cc.sc_of = sc_of;
+    cc.stealing_enabled = opt_.stealing;
+    coord_ = std::make_unique<CoordinatorFsm>(std::move(cc));
+    roles_remaining_ = opt_.n_writers + opt_.n_groups + 1;
+  }
+
+  void push(double delay, std::function<void()> fn) {
+    events_.push(Event{clock_ + delay, rng_(), std::move(fn)});
+  }
+
+  Event pop() {
+    Event ev = events_.top();
+    events_.pop();
+    clock_ = ev.ready;
+    return ev;
+  }
+
+  void deliver(Rank to, Message msg) {
+    struct Visitor {
+      Harness& h;
+      Rank to;
+      Actions operator()(const DoWrite& m) { return h.writers_.at(to)->on_do_write(m); }
+      Actions operator()(const WriteComplete& m) {
+        if (m.kind == WriteComplete::Kind::WriterDone)
+          return h.scs_.at(to)->on_write_complete(m);
+        return h.coord_->on_write_complete(m);
+      }
+      Actions operator()(const IndexBody& m) { return h.scs_.at(to)->on_index_body(m); }
+      Actions operator()(const AdaptiveWriteStart& m) {
+        return h.scs_.at(to)->on_adaptive_write_start(m);
+      }
+      Actions operator()(const WritersBusy& m) { return h.coord_->on_writers_busy(m); }
+      Actions operator()(const OverallWriteComplete& m) {
+        return h.scs_.at(to)->on_overall_write_complete(m);
+      }
+      Actions operator()(const SubIndex& m) { return h.coord_->on_sub_index(m); }
+    };
+    execute(to, std::visit(Visitor{*this, to}, msg.body));
+  }
+
+  void execute(Rank from, Actions actions) {
+    for (auto& action : actions) {
+      if (auto* send = std::get_if<SendAction>(&action)) {
+        const double delay = 1.0 + static_cast<double>(rng_() % 3);
+        push(delay, [this, to = send->to, msg = std::move(send->msg)] { deliver(to, msg); });
+      } else if (const auto* w = std::get_if<StartWriteAction>(&action)) {
+        files_[w->file].regions.push_back({w->offset, w->bytes, from});
+        push(opt_.write_cost(from),
+             [this, from] { execute(from, writers_.at(from)->on_write_done()); });
+      } else if (const auto* wi = std::get_if<WriteIndexAction>(&action)) {
+        files_[wi->file].index_bytes = wi->bytes;
+        push(1.0, [this, from] { execute(from, scs_.at(from)->on_index_write_done()); });
+      } else if (const auto* gi = std::get_if<WriteGlobalIndexAction>(&action)) {
+        global_index_bytes_ = gi->bytes;
+        push(1.0, [this, from] { execute(from, coord_->on_global_index_write_done()); });
+      } else if (std::get_if<RoleDoneAction>(&action)) {
+        ASSERT_GT(roles_remaining_, 0u);
+        --roles_remaining_;
+      }
+    }
+  }
+
+  HarnessOptions opt_;
+  Topology topo_;
+  std::mt19937_64 rng_;
+  std::map<Rank, std::unique_ptr<WriterFsm>> writers_;
+  std::map<Rank, std::unique_ptr<SubCoordinatorFsm>> scs_;
+  std::unique_ptr<CoordinatorFsm> coord_;
+  std::priority_queue<Event> events_;
+  std::map<GroupId, FileState> files_;
+  double clock_ = 0.0;
+  std::uint64_t executed_ = 0;
+  std::size_t roles_remaining_ = 0;
+  double global_index_bytes_ = 0.0;
+};
+
+void check_invariants(Harness& h, const HarnessOptions& opt) {
+  ASSERT_EQ(h.roles_remaining(), 0u) << "protocol did not fully terminate";
+  ASSERT_EQ(h.coordinator().state(), CoordinatorFsm::State::Done);
+
+  // Every writer wrote exactly once.
+  std::map<Rank, int> writes_per_rank;
+  double total_bytes = 0.0;
+  for (const auto& [file, state] : h.files()) {
+    // Regions tile [0, size) without gaps or overlaps.
+    auto regions = state.regions;
+    std::sort(regions.begin(), regions.end(),
+              [](const auto& a, const auto& b) { return a.offset < b.offset; });
+    double cursor = 0.0;
+    for (const auto& r : regions) {
+      EXPECT_DOUBLE_EQ(r.offset, cursor)
+          << "gap/overlap in file " << file << " at writer " << r.writer;
+      cursor += r.bytes;
+      ++writes_per_rank[r.writer];
+      total_bytes += r.bytes;
+    }
+    EXPECT_GT(state.index_bytes, 0.0) << "file " << file << " never wrote its index";
+  }
+  double expected_bytes = 0.0;
+  for (Rank r = 0; r < static_cast<Rank>(opt.n_writers); ++r) {
+    EXPECT_EQ(writes_per_rank[r], 1) << "rank " << r;
+    expected_bytes += h.bytes_for(r);
+  }
+  EXPECT_DOUBLE_EQ(total_bytes, expected_bytes);
+
+  // Global index: every block present, every file covered.
+  const GlobalIndex& gi = h.coordinator().global_index();
+  EXPECT_EQ(gi.n_files(), opt.n_groups);
+  EXPECT_EQ(gi.total_blocks(), opt.n_writers);
+  for (const auto& fi : gi.files()) {
+    const auto it = h.files().find(fi.file());
+    ASSERT_NE(it, h.files().end());
+    double file_bytes = 0.0;
+    for (const auto& r : it->second.regions) file_bytes += r.bytes;
+    EXPECT_TRUE(fi.covers_contiguously(static_cast<std::uint64_t>(file_bytes)))
+        << "file " << fi.file();
+  }
+  EXPECT_GT(h.global_index_bytes(), 0.0);
+}
+
+TEST(ProtocolIntegration, MinimalSingleWriterSingleGroup) {
+  HarnessOptions opt;
+  opt.n_writers = 1;
+  opt.n_groups = 1;
+  Harness h(opt);
+  h.run();
+  check_invariants(h, opt);
+  EXPECT_EQ(h.coordinator().total_steals(), 0u);
+}
+
+TEST(ProtocolIntegration, StealingMovesWorkFromSlowToFastGroups) {
+  HarnessOptions opt;
+  opt.n_writers = 32;
+  opt.n_groups = 4;
+  opt.seed = 7;
+  // Group 0's writers are 60x slower: its queue should be raided.
+  opt.write_cost = [](Rank r) { return r < 8 ? 60.0 : 1.0; };
+  Harness h(opt);
+  h.run();
+  check_invariants(h, opt);
+  EXPECT_GT(h.coordinator().total_steals(), 0u);
+  // Stolen blocks landed in other files: file 0 holds fewer than its 8.
+  EXPECT_LT(h.files().at(0).regions.size(), 8u);
+}
+
+TEST(ProtocolIntegration, StealingDisabledKeepsEveryWriterHome) {
+  HarnessOptions opt;
+  opt.n_writers = 32;
+  opt.n_groups = 4;
+  opt.stealing = false;
+  opt.write_cost = [](Rank r) { return r < 8 ? 60.0 : 1.0; };
+  Harness h(opt);
+  h.run();
+  check_invariants(h, opt);
+  EXPECT_EQ(h.coordinator().total_steals(), 0u);
+  for (const auto& [file, state] : h.files()) EXPECT_EQ(state.regions.size(), 8u);
+}
+
+TEST(ProtocolIntegration, UniformBytesNonDivisibleGroups) {
+  HarnessOptions opt;
+  opt.n_writers = 29;  // groups of 8,7,7,7
+  opt.n_groups = 4;
+  opt.seed = 13;
+  Harness h(opt);
+  h.run();
+  check_invariants(h, opt);
+}
+
+struct SweepParam {
+  std::size_t writers;
+  std::size_t groups;
+  std::size_t concurrency;
+  bool stealing;
+  std::uint64_t seed;
+};
+
+class ProtocolSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ProtocolSweep, InvariantsHoldUnderRandomizedScheduling) {
+  const SweepParam p = GetParam();
+  HarnessOptions opt;
+  opt.n_writers = p.writers;
+  opt.n_groups = p.groups;
+  opt.max_concurrent = p.concurrency;
+  opt.stealing = p.stealing;
+  opt.seed = p.seed;
+  Harness h(opt);
+  h.run();
+  check_invariants(h, opt);
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  const std::size_t writer_counts[] = {1, 2, 3, 5, 8, 16, 33, 64, 100};
+  for (const std::size_t w : writer_counts) {
+    for (const std::size_t g : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                std::size_t{7}}) {
+      if (g > w) continue;
+      for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+        for (const bool steal : {true, false}) {
+          out.push_back({w, g, k, steal, w * 1000 + g * 10 + k + (steal ? 1 : 0)});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, ProtocolSweep, ::testing::ValuesIn(sweep_params()));
+
+// Different delivery orders (seeds) must preserve the invariants.
+class ProtocolSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolSeeds, ReorderingToleratedAtModerateScale) {
+  HarnessOptions opt;
+  opt.n_writers = 48;
+  opt.n_groups = 6;
+  opt.seed = GetParam();
+  Harness h(opt);
+  h.run();
+  check_invariants(h, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233));
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Tests for summaries, histograms and tables.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using aio::stats::Histogram;
+using aio::stats::Summary;
+using aio::stats::Table;
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  const std::array<double, 5> xs{2.0, 4.0, 4.0, 4.0, 6.0};
+  s.add(xs);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_NEAR(s.variance(), 2.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(s.cv(), std::sqrt(2.0) / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+}
+
+TEST(Summary, SingleSampleHasZeroVariance) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(Summary, NumericallyStableForLargeOffsets) {
+  Summary s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(ImbalanceFactor, SlowestOverFastest) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.44, 2.0};
+  EXPECT_DOUBLE_EQ(aio::stats::imbalance_factor(xs), 3.44);
+  EXPECT_DOUBLE_EQ(aio::stats::imbalance_factor({}), 0.0);
+  const std::array<double, 2> equal{2.0, 2.0};
+  EXPECT_DOUBLE_EQ(aio::stats::imbalance_factor(equal), 1.0);
+}
+
+TEST(Percentile, InterpolatesSorted) {
+  const std::array<double, 5> xs{50.0, 10.0, 40.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(aio::stats::percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(aio::stats::percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(aio::stats::percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(aio::stats::percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(aio::stats::percentile(xs, 12.5), 15.0);
+}
+
+TEST(HistogramTest, BinsValuesAndClampsOutliers) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamps to 0
+  h.add(42.0);  // clamps to 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.count(1), 0u);
+}
+
+TEST(HistogramTest, BinBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_EQ(h.bin_of(2.0), 1u);  // half-open bins
+}
+
+TEST(HistogramTest, FitSpansData) {
+  const std::array<double, 4> xs{5.0, 15.0, 10.0, 20.0};
+  const Histogram h = Histogram::fit(xs, 3);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 20.0);
+  EXPECT_EQ(h.mode_bin(), 2u);  // 15 and 20 (clamped) land in the last bin
+}
+
+TEST(HistogramTest, FitHandlesDegenerateData) {
+  const std::array<double, 3> xs{4.0, 4.0, 4.0};
+  const Histogram h = Histogram::fit(xs, 4);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 3u);
+}
+
+TEST(HistogramTest, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // fullest bin
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(HistogramTest, InvalidConfigThrows) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"}).add_row({"beta-long", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("beta-long"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.n_rows(), 2u);
+}
+
+TEST(TableTest, CsvRendering) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::bytes(128.0 * 1e6), "128.0 MB");
+  EXPECT_EQ(Table::bytes(2e12), "2.0 TB");
+  EXPECT_EQ(Table::bytes(512.0), "512 B");
+  EXPECT_EQ(Table::bandwidth(35e9), "35.00 GB/s");
+  EXPECT_EQ(Table::bandwidth(180e6), "180.0 MB/s");
+}
+
+}  // namespace

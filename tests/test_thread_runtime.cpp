@@ -1,0 +1,144 @@
+// End-to-end tests of the protocol on real threads and real files.
+#include "runtime/thread_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace {
+
+using namespace aio;
+using core::IoJob;
+using runtime::run_threaded;
+using runtime::ThreadRunConfig;
+using runtime::ThreadRunResult;
+
+class ThreadRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("aio-test-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+void verify_round_trip(const ThreadRunResult& result, std::size_t expected_blocks) {
+  // Every data file's embedded index parses and its blocks hold the writer's
+  // pattern bytes at the recorded offsets.
+  std::size_t blocks = 0;
+  for (const auto& file : result.data_files) {
+    const core::FileIndex idx = runtime::read_file_index(file);
+    blocks += runtime::verify_blocks(file, idx);
+  }
+  EXPECT_EQ(blocks, expected_blocks);
+
+  // The master file's global index matches the in-memory one.
+  const core::GlobalIndex master = runtime::read_global_index(result.master_file);
+  EXPECT_EQ(master.n_files(), result.global_index.n_files());
+  EXPECT_EQ(master.total_blocks(), result.global_index.total_blocks());
+  EXPECT_EQ(master.total_blocks(), expected_blocks);
+}
+
+TEST_F(ThreadRuntimeTest, SingleWriterSingleFile) {
+  ThreadRunConfig cfg;
+  cfg.directory = dir_;
+  cfg.n_files = 1;
+  const ThreadRunResult r = run_threaded(IoJob::uniform(1, 4096.0), cfg);
+  EXPECT_DOUBLE_EQ(r.total_bytes, 4096.0);
+  EXPECT_EQ(r.data_files.size(), 1u);
+  verify_round_trip(r, 1);
+}
+
+TEST_F(ThreadRuntimeTest, ManyWritersAcrossFiles) {
+  ThreadRunConfig cfg;
+  cfg.directory = dir_;
+  cfg.n_files = 4;
+  const ThreadRunResult r = run_threaded(IoJob::uniform(16, 2048.0), cfg);
+  EXPECT_DOUBLE_EQ(r.total_bytes, 16 * 2048.0);
+  EXPECT_EQ(r.data_files.size(), 4u);
+  verify_round_trip(r, 16);
+}
+
+TEST_F(ThreadRuntimeTest, UnevenPayloads) {
+  ThreadRunConfig cfg;
+  cfg.directory = dir_;
+  cfg.n_files = 3;
+  IoJob job;
+  for (int i = 0; i < 10; ++i) job.bytes_per_writer.push_back(512.0 * (1 + i % 4));
+  const ThreadRunResult r = run_threaded(job, cfg);
+  EXPECT_DOUBLE_EQ(r.total_bytes, job.total_bytes());
+  verify_round_trip(r, 10);
+}
+
+TEST_F(ThreadRuntimeTest, ForcedSlownessCausesStealsAndStaysCorrect) {
+  ThreadRunConfig cfg;
+  cfg.directory = dir_;
+  cfg.n_files = 4;
+  // Group 0 (ranks 0-3) writes are 100x slower.
+  cfg.write_delay = [](core::Rank r) { return r < 4 ? 0.10 : 0.001; };
+  const ThreadRunResult r = run_threaded(IoJob::uniform(16, 1024.0), cfg);
+  EXPECT_GT(r.steals, 0u);
+  verify_round_trip(r, 16);
+  // Stolen writers' blocks live in foreign files, and the global index
+  // still finds each writer exactly once.
+  for (core::Rank w = 0; w < 16; ++w)
+    EXPECT_EQ(r.global_index.scan_for_writer(w).size(), 1u) << "writer " << w;
+}
+
+TEST_F(ThreadRuntimeTest, StealingDisabledKeepsBlocksHome) {
+  ThreadRunConfig cfg;
+  cfg.directory = dir_;
+  cfg.n_files = 4;
+  cfg.stealing = false;
+  cfg.write_delay = [](core::Rank r) { return r < 4 ? 0.05 : 0.001; };
+  const ThreadRunResult r = run_threaded(IoJob::uniform(16, 1024.0), cfg);
+  EXPECT_EQ(r.steals, 0u);
+  verify_round_trip(r, 16);
+  for (const auto& file : r.data_files) {
+    const core::FileIndex idx = runtime::read_file_index(file);
+    EXPECT_EQ(idx.blocks().size(), 4u);
+  }
+}
+
+TEST_F(ThreadRuntimeTest, ConcurrencyTwoStillRoundTrips) {
+  ThreadRunConfig cfg;
+  cfg.directory = dir_;
+  cfg.n_files = 2;
+  cfg.max_concurrent = 2;
+  const ThreadRunResult r = run_threaded(IoJob::uniform(12, 1536.0), cfg);
+  verify_round_trip(r, 12);
+}
+
+TEST_F(ThreadRuntimeTest, RepeatedRunsAreIndependent) {
+  for (int round = 0; round < 3; ++round) {
+    ThreadRunConfig cfg;
+    cfg.directory = dir_ / ("round" + std::to_string(round));
+    cfg.n_files = 2;
+    const ThreadRunResult r = run_threaded(IoJob::uniform(8, 1024.0), cfg);
+    verify_round_trip(r, 8);
+  }
+}
+
+TEST_F(ThreadRuntimeTest, InvalidConfigThrows) {
+  EXPECT_THROW(run_threaded(IoJob::uniform(1, 1.0), ThreadRunConfig{}), std::invalid_argument);
+  IoJob empty;
+  ThreadRunConfig cfg;
+  cfg.directory = dir_;
+  EXPECT_THROW(run_threaded(empty, cfg), std::invalid_argument);
+}
+
+TEST_F(ThreadRuntimeTest, FooterRejectsTruncatedFile) {
+  ThreadRunConfig cfg;
+  cfg.directory = dir_;
+  cfg.n_files = 1;
+  const ThreadRunResult r = run_threaded(IoJob::uniform(2, 1024.0), cfg);
+  // Truncate the file: the footer check must fail loudly.
+  std::filesystem::resize_file(r.data_files[0], 100);
+  EXPECT_THROW(runtime::read_file_index(r.data_files[0]), std::runtime_error);
+}
+
+}  // namespace
