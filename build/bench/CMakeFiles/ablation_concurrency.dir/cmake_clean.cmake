@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_concurrency.dir/ablation_concurrency.cpp.o"
+  "CMakeFiles/ablation_concurrency.dir/ablation_concurrency.cpp.o.d"
+  "ablation_concurrency"
+  "ablation_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stagger.dir/ablation_stagger.cpp.o"
+  "CMakeFiles/ablation_stagger.dir/ablation_stagger.cpp.o.d"
+  "ablation_stagger"
+  "ablation_stagger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stagger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

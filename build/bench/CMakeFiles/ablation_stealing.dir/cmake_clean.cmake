@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stealing.dir/ablation_stealing.cpp.o"
+  "CMakeFiles/ablation_stealing.dir/ablation_stealing.cpp.o.d"
+  "ablation_stealing"
+  "ablation_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

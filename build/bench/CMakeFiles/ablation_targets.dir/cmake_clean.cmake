@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_targets.dir/ablation_targets.cpp.o"
+  "CMakeFiles/ablation_targets.dir/ablation_targets.cpp.o.d"
+  "ablation_targets"
+  "ablation_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

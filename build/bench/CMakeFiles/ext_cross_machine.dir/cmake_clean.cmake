@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cross_machine.dir/ext_cross_machine.cpp.o"
+  "CMakeFiles/ext_cross_machine.dir/ext_cross_machine.cpp.o.d"
+  "ext_cross_machine"
+  "ext_cross_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cross_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

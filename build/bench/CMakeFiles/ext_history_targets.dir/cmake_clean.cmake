@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_history_targets.dir/ext_history_targets.cpp.o"
+  "CMakeFiles/ext_history_targets.dir/ext_history_targets.cpp.o.d"
+  "ext_history_targets"
+  "ext_history_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_history_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_readback.dir/ext_readback.cpp.o"
+  "CMakeFiles/ext_readback.dir/ext_readback.cpp.o.d"
+  "ext_readback"
+  "ext_readback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_readback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_staging.dir/ext_staging.cpp.o"
+  "CMakeFiles/ext_staging.dir/ext_staging.cpp.o.d"
+  "ext_staging"
+  "ext_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

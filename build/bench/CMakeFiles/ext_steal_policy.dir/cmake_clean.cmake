@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_steal_policy.dir/ext_steal_policy.cpp.o"
+  "CMakeFiles/ext_steal_policy.dir/ext_steal_policy.cpp.o.d"
+  "ext_steal_policy"
+  "ext_steal_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_steal_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

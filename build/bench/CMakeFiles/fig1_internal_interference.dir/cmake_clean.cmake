@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_internal_interference.dir/fig1_internal_interference.cpp.o"
+  "CMakeFiles/fig1_internal_interference.dir/fig1_internal_interference.cpp.o.d"
+  "fig1_internal_interference"
+  "fig1_internal_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_internal_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

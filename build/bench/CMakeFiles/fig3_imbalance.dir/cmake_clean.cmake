@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_imbalance.dir/fig3_imbalance.cpp.o"
+  "CMakeFiles/fig3_imbalance.dir/fig3_imbalance.cpp.o.d"
+  "fig3_imbalance"
+  "fig3_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pixie3d.dir/fig5_pixie3d.cpp.o"
+  "CMakeFiles/fig5_pixie3d.dir/fig5_pixie3d.cpp.o.d"
+  "fig5_pixie3d"
+  "fig5_pixie3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pixie3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_pixie3d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_variability.dir/fig7_variability.cpp.o"
+  "CMakeFiles/fig7_variability.dir/fig7_variability.cpp.o.d"
+  "fig7_variability"
+  "fig7_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_external_interference.dir/table1_external_interference.cpp.o"
+  "CMakeFiles/table1_external_interference.dir/table1_external_interference.cpp.o.d"
+  "table1_external_interference"
+  "table1_external_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_external_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

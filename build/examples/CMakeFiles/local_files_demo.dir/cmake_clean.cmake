@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_files_demo.dir/local_files_demo.cpp.o"
+  "CMakeFiles/local_files_demo.dir/local_files_demo.cpp.o.d"
+  "local_files_demo"
+  "local_files_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_files_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for local_files_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixie3d_checkpoint.dir/pixie3d_checkpoint.cpp.o"
+  "CMakeFiles/pixie3d_checkpoint.dir/pixie3d_checkpoint.cpp.o.d"
+  "pixie3d_checkpoint"
+  "pixie3d_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixie3d_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3d_species_query.dir/s3d_species_query.cpp.o"
+  "CMakeFiles/s3d_species_query.dir/s3d_species_query.cpp.o.d"
+  "s3d_species_query"
+  "s3d_species_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3d_species_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgc1_restart.dir/xgc1_restart.cpp.o"
+  "CMakeFiles/xgc1_restart.dir/xgc1_restart.cpp.o.d"
+  "xgc1_restart"
+  "xgc1_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgc1_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api/adios.cpp" "src/CMakeFiles/aio_core.dir/core/api/adios.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/api/adios.cpp.o.d"
+  "/root/repo/src/core/index/index.cpp" "src/CMakeFiles/aio_core.dir/core/index/index.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/index/index.cpp.o.d"
+  "/root/repo/src/core/protocol/coordinator_fsm.cpp" "src/CMakeFiles/aio_core.dir/core/protocol/coordinator_fsm.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/protocol/coordinator_fsm.cpp.o.d"
+  "/root/repo/src/core/protocol/messages.cpp" "src/CMakeFiles/aio_core.dir/core/protocol/messages.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/protocol/messages.cpp.o.d"
+  "/root/repo/src/core/protocol/subcoordinator_fsm.cpp" "src/CMakeFiles/aio_core.dir/core/protocol/subcoordinator_fsm.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/protocol/subcoordinator_fsm.cpp.o.d"
+  "/root/repo/src/core/protocol/writer_fsm.cpp" "src/CMakeFiles/aio_core.dir/core/protocol/writer_fsm.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/protocol/writer_fsm.cpp.o.d"
+  "/root/repo/src/core/transports/adaptive_transport.cpp" "src/CMakeFiles/aio_core.dir/core/transports/adaptive_transport.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/transports/adaptive_transport.cpp.o.d"
+  "/root/repo/src/core/transports/layout.cpp" "src/CMakeFiles/aio_core.dir/core/transports/layout.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/transports/layout.cpp.o.d"
+  "/root/repo/src/core/transports/mpiio_transport.cpp" "src/CMakeFiles/aio_core.dir/core/transports/mpiio_transport.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/transports/mpiio_transport.cpp.o.d"
+  "/root/repo/src/core/transports/posix_transport.cpp" "src/CMakeFiles/aio_core.dir/core/transports/posix_transport.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/transports/posix_transport.cpp.o.d"
+  "/root/repo/src/core/transports/readback.cpp" "src/CMakeFiles/aio_core.dir/core/transports/readback.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/transports/readback.cpp.o.d"
+  "/root/repo/src/core/transports/staging_transport.cpp" "src/CMakeFiles/aio_core.dir/core/transports/staging_transport.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/transports/staging_transport.cpp.o.d"
+  "/root/repo/src/core/transports/target_probe.cpp" "src/CMakeFiles/aio_core.dir/core/transports/target_probe.cpp.o" "gcc" "src/CMakeFiles/aio_core.dir/core/transports/target_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aio_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

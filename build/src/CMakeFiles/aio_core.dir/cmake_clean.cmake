@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_core.dir/core/api/adios.cpp.o"
+  "CMakeFiles/aio_core.dir/core/api/adios.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/index/index.cpp.o"
+  "CMakeFiles/aio_core.dir/core/index/index.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/protocol/coordinator_fsm.cpp.o"
+  "CMakeFiles/aio_core.dir/core/protocol/coordinator_fsm.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/protocol/messages.cpp.o"
+  "CMakeFiles/aio_core.dir/core/protocol/messages.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/protocol/subcoordinator_fsm.cpp.o"
+  "CMakeFiles/aio_core.dir/core/protocol/subcoordinator_fsm.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/protocol/writer_fsm.cpp.o"
+  "CMakeFiles/aio_core.dir/core/protocol/writer_fsm.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/transports/adaptive_transport.cpp.o"
+  "CMakeFiles/aio_core.dir/core/transports/adaptive_transport.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/transports/layout.cpp.o"
+  "CMakeFiles/aio_core.dir/core/transports/layout.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/transports/mpiio_transport.cpp.o"
+  "CMakeFiles/aio_core.dir/core/transports/mpiio_transport.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/transports/posix_transport.cpp.o"
+  "CMakeFiles/aio_core.dir/core/transports/posix_transport.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/transports/readback.cpp.o"
+  "CMakeFiles/aio_core.dir/core/transports/readback.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/transports/staging_transport.cpp.o"
+  "CMakeFiles/aio_core.dir/core/transports/staging_transport.cpp.o.d"
+  "CMakeFiles/aio_core.dir/core/transports/target_probe.cpp.o"
+  "CMakeFiles/aio_core.dir/core/transports/target_probe.cpp.o.d"
+  "libaio_core.a"
+  "libaio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/fabric.cpp" "src/CMakeFiles/aio_fs.dir/fs/fabric.cpp.o" "gcc" "src/CMakeFiles/aio_fs.dir/fs/fabric.cpp.o.d"
+  "/root/repo/src/fs/filesystem.cpp" "src/CMakeFiles/aio_fs.dir/fs/filesystem.cpp.o" "gcc" "src/CMakeFiles/aio_fs.dir/fs/filesystem.cpp.o.d"
+  "/root/repo/src/fs/interference.cpp" "src/CMakeFiles/aio_fs.dir/fs/interference.cpp.o" "gcc" "src/CMakeFiles/aio_fs.dir/fs/interference.cpp.o.d"
+  "/root/repo/src/fs/machine.cpp" "src/CMakeFiles/aio_fs.dir/fs/machine.cpp.o" "gcc" "src/CMakeFiles/aio_fs.dir/fs/machine.cpp.o.d"
+  "/root/repo/src/fs/mds.cpp" "src/CMakeFiles/aio_fs.dir/fs/mds.cpp.o" "gcc" "src/CMakeFiles/aio_fs.dir/fs/mds.cpp.o.d"
+  "/root/repo/src/fs/ost.cpp" "src/CMakeFiles/aio_fs.dir/fs/ost.cpp.o" "gcc" "src/CMakeFiles/aio_fs.dir/fs/ost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

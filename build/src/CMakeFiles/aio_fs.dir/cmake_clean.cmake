@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_fs.dir/fs/fabric.cpp.o"
+  "CMakeFiles/aio_fs.dir/fs/fabric.cpp.o.d"
+  "CMakeFiles/aio_fs.dir/fs/filesystem.cpp.o"
+  "CMakeFiles/aio_fs.dir/fs/filesystem.cpp.o.d"
+  "CMakeFiles/aio_fs.dir/fs/interference.cpp.o"
+  "CMakeFiles/aio_fs.dir/fs/interference.cpp.o.d"
+  "CMakeFiles/aio_fs.dir/fs/machine.cpp.o"
+  "CMakeFiles/aio_fs.dir/fs/machine.cpp.o.d"
+  "CMakeFiles/aio_fs.dir/fs/mds.cpp.o"
+  "CMakeFiles/aio_fs.dir/fs/mds.cpp.o.d"
+  "CMakeFiles/aio_fs.dir/fs/ost.cpp.o"
+  "CMakeFiles/aio_fs.dir/fs/ost.cpp.o.d"
+  "libaio_fs.a"
+  "libaio_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

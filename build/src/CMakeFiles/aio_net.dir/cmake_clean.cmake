@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_net.dir/net/network.cpp.o"
+  "CMakeFiles/aio_net.dir/net/network.cpp.o.d"
+  "libaio_net.a"
+  "libaio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/thread_runtime.cpp" "src/CMakeFiles/aio_runtime.dir/runtime/thread_runtime.cpp.o" "gcc" "src/CMakeFiles/aio_runtime.dir/runtime/thread_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aio_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_runtime.dir/runtime/thread_runtime.cpp.o"
+  "CMakeFiles/aio_runtime.dir/runtime/thread_runtime.cpp.o.d"
+  "libaio_runtime.a"
+  "libaio_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/aio_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/aio_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/fluid.cpp" "src/CMakeFiles/aio_sim.dir/sim/fluid.cpp.o" "gcc" "src/CMakeFiles/aio_sim.dir/sim/fluid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/aio_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/aio_sim.dir/sim/fluid.cpp.o"
+  "CMakeFiles/aio_sim.dir/sim/fluid.cpp.o.d"
+  "libaio_sim.a"
+  "libaio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

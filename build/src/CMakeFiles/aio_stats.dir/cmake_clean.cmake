@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/aio_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/aio_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/aio_stats.dir/stats/summary.cpp.o.d"
+  "CMakeFiles/aio_stats.dir/stats/table.cpp.o"
+  "CMakeFiles/aio_stats.dir/stats/table.cpp.o.d"
+  "libaio_stats.a"
+  "libaio_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aio_workload.dir/workload/ior.cpp.o"
+  "CMakeFiles/aio_workload.dir/workload/ior.cpp.o.d"
+  "CMakeFiles/aio_workload.dir/workload/pixie3d.cpp.o"
+  "CMakeFiles/aio_workload.dir/workload/pixie3d.cpp.o.d"
+  "CMakeFiles/aio_workload.dir/workload/s3d.cpp.o"
+  "CMakeFiles/aio_workload.dir/workload/s3d.cpp.o.d"
+  "CMakeFiles/aio_workload.dir/workload/xgc1.cpp.o"
+  "CMakeFiles/aio_workload.dir/workload/xgc1.cpp.o.d"
+  "libaio_workload.a"
+  "libaio_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aio_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaio_workload.a"
+)

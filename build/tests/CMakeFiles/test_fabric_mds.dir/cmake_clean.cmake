@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fabric_mds.dir/test_fabric_mds.cpp.o"
+  "CMakeFiles/test_fabric_mds.dir/test_fabric_mds.cpp.o.d"
+  "test_fabric_mds"
+  "test_fabric_mds.pdb"
+  "test_fabric_mds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fabric_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

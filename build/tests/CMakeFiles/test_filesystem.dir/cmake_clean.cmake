@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filesystem.dir/test_filesystem.cpp.o"
+  "CMakeFiles/test_filesystem.dir/test_filesystem.cpp.o.d"
+  "test_filesystem"
+  "test_filesystem.pdb"
+  "test_filesystem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filesystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fluid.dir/test_fluid.cpp.o"
+  "CMakeFiles/test_fluid.dir/test_fluid.cpp.o.d"
+  "test_fluid"
+  "test_fluid.pdb"
+  "test_fluid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ost.dir/test_ost.cpp.o"
+  "CMakeFiles/test_ost.dir/test_ost.cpp.o.d"
+  "test_ost"
+  "test_ost.pdb"
+  "test_ost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ost_fairness.dir/test_ost_fairness.cpp.o"
+  "CMakeFiles/test_ost_fairness.dir/test_ost_fairness.cpp.o.d"
+  "test_ost_fairness"
+  "test_ost_fairness.pdb"
+  "test_ost_fairness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ost_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

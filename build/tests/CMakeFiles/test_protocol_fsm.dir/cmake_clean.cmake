@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_fsm.dir/test_protocol_fsm.cpp.o"
+  "CMakeFiles/test_protocol_fsm.dir/test_protocol_fsm.cpp.o.d"
+  "test_protocol_fsm"
+  "test_protocol_fsm.pdb"
+  "test_protocol_fsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_integration.dir/test_protocol_integration.cpp.o"
+  "CMakeFiles/test_protocol_integration.dir/test_protocol_integration.cpp.o.d"
+  "test_protocol_integration"
+  "test_protocol_integration.pdb"
+  "test_protocol_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

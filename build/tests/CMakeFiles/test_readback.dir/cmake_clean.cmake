@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_readback.dir/test_readback.cpp.o"
+  "CMakeFiles/test_readback.dir/test_readback.cpp.o.d"
+  "test_readback"
+  "test_readback.pdb"
+  "test_readback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_readback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

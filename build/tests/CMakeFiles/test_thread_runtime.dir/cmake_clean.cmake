@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_runtime.dir/test_thread_runtime.cpp.o"
+  "CMakeFiles/test_thread_runtime.dir/test_thread_runtime.cpp.o.d"
+  "test_thread_runtime"
+  "test_thread_runtime.pdb"
+  "test_thread_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

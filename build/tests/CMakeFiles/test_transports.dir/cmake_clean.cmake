@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transports.dir/test_transports.cpp.o"
+  "CMakeFiles/test_transports.dir/test_transports.cpp.o.d"
+  "test_transports"
+  "test_transports.pdb"
+  "test_transports[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

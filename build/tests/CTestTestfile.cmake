@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_fluid[1]_include.cmake")
+include("/root/repo/build/tests/test_ost[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric_mds[1]_include.cmake")
+include("/root/repo/build/tests/test_interference[1]_include.cmake")
+include("/root/repo/build/tests/test_filesystem[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_index[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_fsm[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_transports[1]_include.cmake")
+include("/root/repo/build/tests/test_api[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_ost_fairness[1]_include.cmake")
+include("/root/repo/build/tests/test_readback[1]_include.cmake")
+include("/root/repo/build/tests/test_target_probe[1]_include.cmake")
+include("/root/repo/build/tests/test_staging[1]_include.cmake")
