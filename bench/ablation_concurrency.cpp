@@ -19,6 +19,9 @@ int main() {
                 "design-choice ablation: 1 / 2 / 3 simultaneous writers per target",
                 "Pixie3D large (128 MB), Jaguar, adaptive/512 OSTs");
 
+  bench::Report report("ablation_concurrency", 910);
+  report.config("samples", static_cast<double>(samples))
+      .config("max_procs", static_cast<double>(max_procs));
   stats::Table table({"procs", "k=1 avg", "k=2 avg", "k=3 avg", "k=2 vs k=1", "k=3 vs k=1"});
   const workload::Pixie3dConfig model = workload::Pixie3dConfig::large_model();
 
@@ -38,6 +41,10 @@ int main() {
         machine.advance(600.0);
       }
       means[k] = bw.mean();
+      report.row()
+          .value("procs", static_cast<double>(procs))
+          .value("writers_per_target", static_cast<double>(k))
+          .stat("bw", bw);
     }
     auto pct = [&](std::size_t k) {
       const double gain = (means[k] / means[1] - 1.0) * 100.0;

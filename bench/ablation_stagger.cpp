@@ -35,10 +35,16 @@ int main() {
   bench::Machine machine(fs::jaguar(), 920, /*with_load=*/false);
   using OpenMode = core::AdaptiveTransport::Config::OpenMode;
 
+  bench::Report report("ablation_stagger", 920);
   stats::Table table({"files", "storm opens (s)", "staggered opens (s)", "storm/staggered"});
   for (const std::size_t files : {std::size_t{128}, std::size_t{512}}) {
     const double storm = open_phase(machine, files, OpenMode::Storm, 0.0);
     const double stag = open_phase(machine, files, OpenMode::Staggered, 0.002);
+    report.row()
+        .tag("phase", "adaptive_opens")
+        .value("files", static_cast<double>(files))
+        .value("storm_s", storm)
+        .value("staggered_s", stag);
     table.add_row({std::to_string(files), stats::Table::num(storm, 4),
                    stats::Table::num(stag, 4), stats::Table::num(storm / stag, 2) + "x"});
   }
@@ -58,6 +64,10 @@ int main() {
       });
     }
     machine.engine.run();
+    report.row()
+        .tag("phase", "posix_storm")
+        .value("procs", static_cast<double>(procs))
+        .value("opens_s", done);
     posix.add_row({std::to_string(procs), std::to_string(procs), stats::Table::num(done, 2)});
   }
   std::printf("Baseline one-file-per-process create storm (what adaptive IO avoids)\n%s\n",

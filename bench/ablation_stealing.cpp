@@ -20,6 +20,9 @@ int main() {
                 "design-choice ablation: coordinator work redistribution on/off",
                 "Pixie3D large (128 MB), Jaguar, adaptive/512 OSTs, with interference job");
 
+  bench::Report report("ablation_stealing", 900);
+  report.config("samples", static_cast<double>(samples))
+      .config("max_procs", static_cast<double>(max_procs));
   stats::Table table({"procs", "no-steal avg", "steal avg", "steal gain", "no-steal stddev(s)",
                       "steal stddev(s)", "steals/run"});
   const workload::Pixie3dConfig model = workload::Pixie3dConfig::large_model();
@@ -54,6 +57,14 @@ int main() {
       machine.advance(600.0);
     }
     const double gain = (on_bw.mean() / off_bw.mean() - 1.0) * 100.0;
+    report.row()
+        .value("procs", static_cast<double>(procs))
+        .value("gain_pct", gain)
+        .stat("nosteal_bw", off_bw)
+        .stat("steal_bw", on_bw)
+        .stat("nosteal_t", off_t)
+        .stat("steal_t", on_t)
+        .stat("steals", steals);
     table.add_row({std::to_string(procs), stats::Table::bandwidth(off_bw.mean()),
                    stats::Table::bandwidth(on_bw.mean()),
                    (gain >= 0 ? "+" : "") + stats::Table::num(gain, 0) + "%",

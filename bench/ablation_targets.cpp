@@ -24,6 +24,9 @@ int main() {
   bench::Machine machine(fs::jaguar(), 930, /*with_load=*/true, /*min_ranks=*/procs);
   const core::IoJob job = workload::pixie3d_job(model, procs);
 
+  bench::Report report("ablation_targets", 930);
+  report.config("samples", static_cast<double>(samples))
+      .config("procs", static_cast<double>(procs));
   const std::size_t target_counts[] = {160, 512, 672};
   double means[3] = {};
   double maxes[3] = {};
@@ -38,6 +41,9 @@ int main() {
     }
     means[i] = bw.mean();
     maxes[i] = bw.max();
+    report.row()
+        .value("targets", static_cast<double>(target_counts[i]))
+        .stat("bw", bw);
   }
 
   stats::Table table(

@@ -41,6 +41,8 @@ int main() {
       {fs::xtp(), 1536, 40, 40},
   };
 
+  bench::Report report("ext_cross_machine", 970);
+  report.config("samples", static_cast<double>(samples));
   stats::Table table({"machine", "procs", "targets (MPI/adaptive)", "MPI-IO avg",
                       "Adaptive avg", "adaptive gain"});
   for (const MachineCase& mc : cases) {
@@ -65,6 +67,14 @@ int main() {
       machine.advance(600.0);
     }
     const double gain = (ad_bw.mean() / mpi_bw.mean() - 1.0) * 100.0;
+    report.row()
+        .tag("machine", mc.spec.name)
+        .value("procs", static_cast<double>(mc.procs))
+        .value("mpi_stripes", static_cast<double>(mc.mpi_stripes))
+        .value("adaptive_files", static_cast<double>(mc.adaptive_files))
+        .value("gain_pct", gain)
+        .stat("mpiio_bw", mpi_bw)
+        .stat("adaptive_bw", ad_bw);
     table.add_row({mc.spec.name, std::to_string(mc.procs),
                    std::to_string(mc.mpi_stripes) + "/" + std::to_string(mc.adaptive_files),
                    stats::Table::bandwidth(mpi_bw.mean()), stats::Table::bandwidth(ad_bw.mean()),

@@ -28,6 +28,9 @@ int main() {
   const core::IoJob job =
       workload::pixie3d_job(workload::Pixie3dConfig::large_model(), procs);
 
+  bench::Report report("ext_history_targets", 950);
+  report.config("samples", static_cast<double>(samples))
+      .config("procs", static_cast<double>(procs));
   stats::Table table({"placement", "avg bandwidth", "min", "max"});
   stats::Summary naive_bw;
   stats::Summary informed_bw;
@@ -60,6 +63,8 @@ int main() {
                  stats::Table::bandwidth(informed_bw.min()),
                  stats::Table::bandwidth(informed_bw.max())});
   const double gain = (informed_bw.mean() / naive_bw.mean() - 1.0) * 100.0;
+  report.row().tag("placement", "naive").stat("bw", naive_bw);
+  report.row().tag("placement", "informed").value("gain_pct", gain).stat("bw", informed_bw);
   std::printf("History-aware placement\n%s\ninformed vs naive: %+.1f%%\n"
               "(gains are bounded: stealing already routes around slow targets at run\n"
               "time; informed placement removes them from the set up front.)\n",

@@ -29,6 +29,8 @@ int main() {
                 "Section IV-C: restart read-back, global index vs per-file search vs MPI file",
                 "Pixie3D large (128 MB), Jaguar, 512 adaptive targets");
 
+  bench::Report report("ext_readback", 940);
+  report.config("procs", static_cast<double>(procs));
   bench::Machine machine(fs::jaguar(), 940, /*with_load=*/true, /*min_ranks=*/procs);
   const core::IoJob job =
       workload::pixie3d_job(workload::Pixie3dConfig::large_model(), procs);
@@ -38,6 +40,7 @@ int main() {
   ad_cfg.n_files = 512;
   core::AdaptiveTransport adaptive(machine.filesystem, machine.network, ad_cfg);
   const core::IoResult wrote = machine.run(adaptive, job);
+  report.config("adaptive_write_bw", wrote.bandwidth());
   machine.advance(300.0);
 
   stats::Table table({"consumer", "metadata ops", "lookup (s)", "read (s)", "bandwidth"});
@@ -51,6 +54,14 @@ int main() {
                [&](core::ReadbackResult r) { result = r; });
     machine.engine.run();
     machine.advance(300.0);
+    report.row()
+        .tag("consumer", lookup == core::ReadbackConfig::Lookup::GlobalIndex
+                             ? "global_index"
+                             : "per_file_search")
+        .value("mds_ops", static_cast<double>(result->mds_ops))
+        .value("lookup_s", result->lookup_seconds())
+        .value("read_s", result->read_seconds())
+        .value("bw", result->bandwidth());
     table.add_row({lookup == core::ReadbackConfig::Lookup::GlobalIndex
                        ? "adaptive + global index"
                        : "adaptive + per-file search",
@@ -84,6 +95,11 @@ int main() {
       offset += job.bytes_per_writer[r];
     }
     machine.engine.run();
+    report.row()
+        .tag("consumer", "mpiio_shared_file")
+        .value("mds_ops", 1)
+        .value("read_s", t_done - t0)
+        .value("bw", job.total_bytes() / (t_done - t0));
     table.add_row({"MPI-IO shared file", "1", "0.000",
                    stats::Table::num(t_done - t0, 1),
                    stats::Table::bandwidth(job.total_bytes() / (t_done - t0))});

@@ -51,6 +51,12 @@ int main() {
   // (At relaxed checkpoint cadence the drain keeps up and staging hides IO
   // completely; that regime is reported in the footer.)
   const double cadence = 5.0;
+  bench::Report report("ext_staging", 960);
+  report.config("procs", static_cast<double>(procs))
+      .config("steps", static_cast<double>(steps))
+      .config("cadence_s", cadence)
+      .config("step_bytes", step_bytes)
+      .config("capacity_bytes", staging.capacity_bytes());
   std::vector<double> staged_times;
   std::vector<double> residues;
   for (std::size_t s = 0; s < steps; ++s) {
@@ -73,6 +79,11 @@ int main() {
   stats::Table table({"step", "staging app-visible (s)", "staging residue after",
                       "adaptive (s)"});
   for (std::size_t s = 0; s < steps; ++s) {
+    report.row()
+        .value("step", static_cast<double>(s))
+        .value("staging_s", staged_times[s])
+        .value("residue_bytes", residues[s])
+        .value("adaptive_s", adaptive_times[s]);
     table.add_row({std::to_string(s), stats::Table::num(staged_times[s], 1),
                    stats::Table::bytes(residues[s]), stats::Table::num(adaptive_times[s], 1)});
   }

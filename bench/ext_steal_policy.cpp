@@ -20,6 +20,9 @@ int main() {
                 "future-work extension: round-robin vs longest-queue steal source",
                 "Pixie3D large (128 MB), Jaguar, adaptive/512 OSTs, with interference job");
 
+  bench::Report report("ext_steal_policy", 980);
+  report.config("samples", static_cast<double>(samples))
+      .config("max_procs", static_cast<double>(max_procs));
   stats::Table table({"procs", "round-robin avg", "longest-queue avg", "delta",
                       "rr stddev(s)", "lq stddev(s)"});
   const workload::Pixie3dConfig model = workload::Pixie3dConfig::large_model();
@@ -53,6 +56,13 @@ int main() {
       machine.advance(600.0);
     }
     const double delta = (lq_bw.mean() / rr_bw.mean() - 1.0) * 100.0;
+    report.row()
+        .value("procs", static_cast<double>(procs))
+        .value("delta_pct", delta)
+        .stat("rr_bw", rr_bw)
+        .stat("lq_bw", lq_bw)
+        .stat("rr_t", rr_t)
+        .stat("lq_t", lq_t);
     table.add_row({std::to_string(procs), stats::Table::bandwidth(rr_bw.mean()),
                    stats::Table::bandwidth(lq_bw.mean()),
                    (delta >= 0 ? "+" : "") + stats::Table::num(delta, 1) + "%",

@@ -33,6 +33,9 @@ int main() {
   std::vector<std::size_t> writer_counts;
   for (std::size_t w = 512; w <= max_procs; w *= 2) writer_counts.push_back(w);
 
+  bench::Report report("fig1_internal_interference", 1000);
+  report.config("samples", static_cast<double>(samples))
+      .config("max_procs", static_cast<double>(max_procs));
   stats::Table aggregate({"size/writer", "writers", "ratio", "agg min", "agg avg", "agg max"});
   stats::Table per_writer({"size/writer", "writers", "ratio", "pw min", "pw avg", "pw max"});
 
@@ -68,6 +71,12 @@ int main() {
       const stats::Summary agg = series.aggregate_summary();
       const stats::Summary pw = series.per_writer_summary();
       const std::string ratio = std::to_string(writers / 512) + ":1";
+      report.row()
+          .tag("ratio", ratio)
+          .value("size_mb", size_mb)
+          .value("writers", static_cast<double>(writers))
+          .stat("aggregate_bw", agg)
+          .stat("per_writer_bw", pw);
       aggregate.add_row({bench::mb(size_mb * kMiB), std::to_string(writers), ratio,
                          stats::Table::bandwidth(agg.min()), stats::Table::bandwidth(agg.mean()),
                          stats::Table::bandwidth(agg.max())});

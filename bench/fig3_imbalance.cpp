@@ -46,6 +46,8 @@ int main() {
   const std::size_t n_samples = bench::samples_or(24);
   bench::Machine machine(fs::jaguar(), /*seed=*/29, /*with_load=*/true);
 
+  bench::Report report("fig3_imbalance", 29);
+  report.config("samples", static_cast<double>(n_samples));
   std::vector<workload::IorSample> samples;
   samples.reserve(n_samples);
   for (std::size_t i = 0; i < n_samples; ++i) {
@@ -82,11 +84,17 @@ int main() {
   stats::Table series({"sample", "t+min", "imbalance factor", "aggregate"});
   for (std::size_t i = 0; i < samples.size(); ++i) {
     all.add(samples[i].imbalance);
+    report.row()
+        .value("sample", static_cast<double>(i))
+        .value("t_min", static_cast<double>(i * 3))
+        .value("imbalance", samples[i].imbalance)
+        .value("aggregate_bw", samples[i].aggregate_bw);
     series.add_row({std::to_string(i), std::to_string(i * 3),
                     stats::Table::num(samples[i].imbalance, 2),
                     stats::Table::bandwidth(samples[i].aggregate_bw)});
   }
   std::printf("Imbalance factor per sample (3-minute spacing):\n%s\n", series.render().c_str());
+  report.row().tag("metric", "imbalance_summary").stat("imbalance", all);
   std::printf("Overall average imbalance factor (paper: ~3.9 across all tests): %.2f\n",
               all.mean());
   return 0;

@@ -23,8 +23,9 @@ struct Condition {
   bool interference;
 };
 
-void run_model(const char* title, const workload::Pixie3dConfig& model, std::size_t samples,
-               std::size_t max_procs, std::uint64_t seed) {
+void run_model(const char* title, const char* model_tag, const workload::Pixie3dConfig& model,
+               std::size_t samples, std::size_t max_procs, std::uint64_t seed,
+               bench::Report& report) {
   stats::Table table({"condition", "procs", "MPI-IO avg", "MPI-IO max", "Adaptive avg",
                       "Adaptive max", "adaptive gain", "steals/run"});
 
@@ -64,6 +65,15 @@ void run_model(const char* title, const workload::Pixie3dConfig& model, std::siz
         machine.advance(600.0);
       }
       const double gain = (ad_bw.mean() / mpi_bw.mean() - 1.0) * 100.0;
+      report.row()
+          .tag("model", model_tag)
+          .tag("condition", cond.name)
+          .value("procs", static_cast<double>(procs))
+          .value("seed", static_cast<double>(seed))
+          .value("gain_pct", gain)
+          .stat("mpiio_bw", mpi_bw)
+          .stat("adaptive_bw", ad_bw)
+          .stat("steals", steals);
       table.add_row({cond.name, std::to_string(procs), stats::Table::bandwidth(mpi_bw.mean()),
                      stats::Table::bandwidth(mpi_bw.max()),
                      stats::Table::bandwidth(ad_bw.mean()),
@@ -84,11 +94,15 @@ int main() {
                 "Fig. 5(a) small 2 MB, 5(b) large 128 MB, 5(c) extra-large 1 GB per process",
                 "Pixie3D kernel, Jaguar, MPI-IO/160 OSTs vs adaptive/512 OSTs");
 
-  run_model("Fig 5(a): Pixie3D small data (2 MB/process)",
-            workload::Pixie3dConfig::small_model(), samples, max_procs, 100);
-  run_model("Fig 5(b): Pixie3D large data (128 MB/process)",
-            workload::Pixie3dConfig::large_model(), samples, max_procs, 200);
-  run_model("Fig 5(c): Pixie3D extra-large data (1 GB/process)",
-            workload::Pixie3dConfig::xl_model(), samples, max_procs, 300);
+  bench::Report report("fig5_pixie3d", 100);
+  report.config("samples", static_cast<double>(samples))
+      .config("max_procs", static_cast<double>(max_procs));
+
+  run_model("Fig 5(a): Pixie3D small data (2 MB/process)", "small",
+            workload::Pixie3dConfig::small_model(), samples, max_procs, 100, report);
+  run_model("Fig 5(b): Pixie3D large data (128 MB/process)", "large",
+            workload::Pixie3dConfig::large_model(), samples, max_procs, 200, report);
+  run_model("Fig 5(c): Pixie3D extra-large data (1 GB/process)", "xl",
+            workload::Pixie3dConfig::xl_model(), samples, max_procs, 300, report);
   return 0;
 }

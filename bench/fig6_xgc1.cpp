@@ -20,6 +20,9 @@ int main() {
   bench::banner("fig6_xgc1", "Fig. 6: XGC1 IO performance (38 MB/process)",
                 "XGC1 kernel, Jaguar, MPI-IO/160 OSTs vs adaptive/512 OSTs");
 
+  bench::Report report("fig6_xgc1", 400);
+  report.config("samples", static_cast<double>(samples))
+      .config("max_procs", static_cast<double>(max_procs));
   const workload::Xgc1Config model;
   stats::Table table({"condition", "procs", "MPI-IO avg", "MPI-IO max", "Adaptive avg",
                       "Adaptive max", "adaptive gain", "steals/run"});
@@ -55,6 +58,13 @@ int main() {
         machine.advance(900.0);
       }
       const double gain = (ad_bw.mean() / mpi_bw.mean() - 1.0) * 100.0;
+      report.row()
+          .tag("condition", interference ? "interference" : "base")
+          .value("procs", static_cast<double>(procs))
+          .value("gain_pct", gain)
+          .stat("mpiio_bw", mpi_bw)
+          .stat("adaptive_bw", ad_bw)
+          .stat("steals", steals);
       table.add_row({interference ? "interference" : "base", std::to_string(procs),
                      stats::Table::bandwidth(mpi_bw.mean()), stats::Table::bandwidth(mpi_bw.max()),
                      stats::Table::bandwidth(ad_bw.mean()), stats::Table::bandwidth(ad_bw.max()),

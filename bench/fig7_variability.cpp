@@ -40,6 +40,9 @@ int main() {
                 "Fig. 7(a-d): standard deviation of write time for the 4 cases",
                 "Jaguar, MPI-IO/160 OSTs vs adaptive/512 OSTs, base conditions");
 
+  bench::Report report("fig7_variability", 700);
+  report.config("samples", static_cast<double>(samples))
+      .config("max_procs", static_cast<double>(max_procs));
   const Case cases[] = {
       {"Fig 7(a) Pixie3D small (2 MB)", small_job, 700},
       {"Fig 7(b) Pixie3D large (128 MB)", large_job, 710},
@@ -74,6 +77,12 @@ int main() {
         machine.advance(600.0);
       }
       const double ratio = ad_t.stddev() > 0.0 ? mpi_t.stddev() / ad_t.stddev() : 0.0;
+      report.row()
+          .tag("case", c.name)
+          .value("procs", static_cast<double>(procs))
+          .value("stddev_ratio", ratio)
+          .stat("mpiio_t", mpi_t)
+          .stat("adaptive_t", ad_t);
       table.add_row({std::to_string(procs),
                      stats::Table::num(static_cast<double>(procs) / 512.0, 1),
                      stats::Table::num(mpi_t.mean(), 2), stats::Table::num(mpi_t.stddev(), 2),

@@ -2,16 +2,27 @@
 //
 // Every bench assembles a simulated machine from a MachineSpec, runs
 // transports on it, and prints the same rows/series the paper's table or
-// figure reports.  Sample counts and scale caps honour environment
-// variables so the full 40-sample runs of the paper are one export away:
+// figure reports.  Sample counts, scale caps, and observability honour
+// environment variables so the full 40-sample runs of the paper are one
+// export away:
 //
-//   AIO_BENCH_SAMPLES   overrides each bench's default sample count
-//   AIO_BENCH_MAX_PROCS caps the largest writer count (default 16384)
+//   AIO_BENCH_SAMPLES    overrides each bench's default sample count
+//   AIO_BENCH_MAX_PROCS  caps the largest writer count (default 16384)
+//   AIO_BENCH_JSON       writes machine-readable results (bench/report.hpp)
+//   AIO_BENCH_MAX_STEPS  engine-step watchdog: abort (with diagnostics and
+//                        a trace dump) instead of spinning on a hung run
+//   AIO_TRACE            Chrome trace_event JSON per machine (Perfetto)
+//   AIO_TRACE_CATS       widen/narrow trace categories ("all" adds engine)
+//   AIO_METRICS          metrics registry JSON per machine
+//   AIO_OBS_PERIOD_S     sampling period for per-OST series (default 1.0)
+//   AIO_OBS_OSTS         per-OST probe limit (default 32)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "core/transports/adaptive_transport.hpp"
@@ -22,6 +33,10 @@
 #include "fs/interference.hpp"
 #include "fs/machine.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "report.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "stats/histogram.hpp"
@@ -38,6 +53,14 @@ inline std::size_t env_size(const char* name, std::size_t fallback) {
   return fallback;
 }
 
+inline double env_double(const char* name, double fallback) {
+  if (const char* v = std::getenv(name)) {
+    const double parsed = std::atof(v);
+    if (parsed > 0.0) return parsed;
+  }
+  return fallback;
+}
+
 inline std::size_t samples_or(std::size_t fallback) {
   return env_size("AIO_BENCH_SAMPLES", fallback);
 }
@@ -46,34 +69,87 @@ inline std::size_t max_procs_or(std::size_t fallback) {
   return env_size("AIO_BENCH_MAX_PROCS", fallback);
 }
 
+/// Builds the per-machine metrics registry when observability is requested
+/// (`AIO_TRACE` or `AIO_METRICS` set).  Null otherwise so the default path
+/// has zero bookkeeping.
+inline std::unique_ptr<obs::Registry> metrics_from_env() {
+  if (std::getenv("AIO_TRACE") || std::getenv("AIO_METRICS"))
+    return std::make_unique<obs::Registry>();
+  return nullptr;
+}
+
 /// A fully assembled simulated machine.
 struct Machine {
   fs::MachineSpec spec;
+  // Observability precedes engine: the engine captures these pointers.
+  std::unique_ptr<obs::TraceSink> trace;
+  std::unique_ptr<obs::Registry> metrics;
   sim::Engine engine;
   fs::FileSystem filesystem;
   net::Network network;
+  std::optional<obs::Sampler> sampler;
   std::optional<fs::BackgroundLoad> load;
   std::optional<fs::InterferenceJob> job;
 
   Machine(fs::MachineSpec machine_spec, std::uint64_t seed, bool with_load,
           std::size_t min_ranks = 0)
       : spec(std::move(machine_spec)),
+        trace(obs::TraceSink::from_env()),
+        metrics(metrics_from_env()),
+        engine(trace.get(), metrics.get()),
         filesystem(engine, spec.fs),
         network(engine,
                 net::NetConfig{spec.msg_latency_s, spec.nic_bw, spec.cores_per_node},
                 std::max(min_ranks, spec.total_cores())) {
+    if (metrics) {
+      const double period =
+          env_double("AIO_OBS_PERIOD_S", 1.0);
+      sampler.emplace(*metrics, trace.get(), period);
+      filesystem.register_probes(*sampler, env_size("AIO_OBS_OSTS", 32));
+      arm_sampler();
+    }
     if (with_load) {
       load.emplace(engine, sim::Rng(seed).fork(1), spec.load, filesystem.ost_pointers());
       load->start();
     }
   }
 
+  ~Machine() { flush_obs(); }
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
   /// Installs the paper's Section IV artificial interference job.
   void add_interference_job() {
     job.emplace(engine, fs::InterferenceJob::Config{}, filesystem.ost_pointers());
   }
 
-  /// Runs one collective output; starts/stops the interference job around it.
+  /// Writes the trace and metrics files (also called on destruction and on
+  /// watchdog abort, so a hung run still leaves its evidence behind).
+  void flush_obs() {
+    if (trace) trace->write();
+    if (!metrics) return;
+    if (const char* path = std::getenv("AIO_METRICS"); path && *path) {
+      // Number sibling machines' outputs the same way TraceSink::from_env
+      // numbers trace paths.
+      static int instances = 0;
+      if (metrics_path_.empty()) {
+        ++instances;
+        metrics_path_ =
+            instances == 1 ? path : std::string(path) + "." + std::to_string(instances);
+      }
+      if (std::FILE* f = std::fopen(metrics_path_.c_str(), "w")) {
+        const std::string doc = metrics->to_json().dump();
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+      }
+    }
+  }
+
+  /// Runs one collective output; starts/stops the interference job around
+  /// it.  `AIO_BENCH_MAX_STEPS` bounds the engine steps per run: a protocol
+  /// that hangs (or livelocks at one timestamp) aborts with diagnostics and
+  /// a trace dump instead of spinning forever.
   core::IoResult run(core::Transport& transport, const core::IoJob& io_job) {
     if (job) job->start();
     std::optional<core::IoResult> result;
@@ -81,13 +157,47 @@ struct Machine {
       result = std::move(r);
       if (job) job->stop();
     });
-    engine.run();
-    if (!result) throw std::logic_error("bench: transport did not complete");
+    const std::size_t max_steps = env_size("AIO_BENCH_MAX_STEPS", 0);
+    if (max_steps == 0) {
+      engine.run();
+    } else {
+      engine.run(max_steps);
+      if (!result && engine.pending_normal() > 0)
+        fail(transport, "engine watchdog tripped after " + std::to_string(max_steps) +
+                            " steps (AIO_BENCH_MAX_STEPS)");
+    }
+    if (!result) fail(transport, "transport did not complete (event queue drained)");
     return *result;
   }
 
   /// Advances wall-clock (compute phase between output steps).
   void advance(double seconds) { engine.run_until(engine.now() + seconds); }
+
+ private:
+  [[noreturn]] void fail(const core::Transport& transport, const std::string& what) {
+    std::string msg = "bench: " + transport.name() + ": " + what +
+                      " [t=" + std::to_string(engine.now()) +
+                      "s steps=" + std::to_string(engine.steps()) +
+                      " pending=" + std::to_string(engine.pending()) +
+                      " pending_normal=" + std::to_string(engine.pending_normal()) + "]";
+    if (metrics) {
+      for (const auto& [name, c] : metrics->counters())
+        msg += " " + name + "=" + std::to_string(c.value());
+    }
+    flush_obs();
+    if (trace && !trace->config().path.empty())
+      msg += "; trace dumped to " + trace->config().path;
+    throw std::runtime_error(msg);
+  }
+
+  void arm_sampler() {
+    engine.schedule_daemon_after(sampler->period(), [this] {
+      sampler->tick(engine.now());
+      arm_sampler();
+    });
+  }
+
+  std::string metrics_path_;
 };
 
 inline void banner(const char* binary, const char* reproduces, const char* setup) {

@@ -1,0 +1,126 @@
+// Machine-readable bench telemetry (schema "aio-bench-v1").
+//
+// Every bench binary builds one `bench::Report`, tags it with the run
+// configuration, and appends one Row per printed table row.  When
+// `AIO_BENCH_JSON=<path>` is set the report writes a JSON results file on
+// destruction (or via write()), giving CI and future PRs a stable perf
+// trajectory to diff against.  With the variable unset the report costs a
+// few vector appends and writes nothing.
+//
+//   {
+//     "schema": "aio-bench-v1",
+//     "bench":  "fig5_pixie3d",
+//     "seed":   100,
+//     "config": {"samples": 2, "max_procs": 1024},
+//     "rows": [
+//       {"tags":   {"model": "default", "condition": "clean"},
+//        "values": {"procs": 512},
+//        "stats":  {"bw": {"n": 2, "mean": ..., "stddev": ..., "cv": ...,
+//                          "min": ..., "max": ...}}},
+//       ...
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "stats/summary.hpp"
+
+namespace aio::bench {
+
+class Report {
+ public:
+  class Row {
+   public:
+    Row& tag(std::string key, std::string value) {
+      tags_.set(std::move(key), obs::Json(std::move(value)));
+      return *this;
+    }
+    Row& value(std::string key, double v) {
+      values_.set(std::move(key), obs::Json(v));
+      return *this;
+    }
+    Row& stat(std::string key, const stats::Summary& s) {
+      obs::Json j = obs::Json::object();
+      j.set("n", obs::Json(static_cast<double>(s.count())));
+      j.set("mean", obs::Json(s.mean()));
+      j.set("stddev", obs::Json(s.stddev()));
+      j.set("cv", obs::Json(s.cv()));
+      j.set("min", obs::Json(s.min()));
+      j.set("max", obs::Json(s.max()));
+      stats_.set(std::move(key), std::move(j));
+      return *this;
+    }
+
+   private:
+    friend class Report;
+    obs::Json tags_ = obs::Json::object();
+    obs::Json values_ = obs::Json::object();
+    obs::Json stats_ = obs::Json::object();
+  };
+
+  Report(std::string bench, std::uint64_t seed) : bench_(std::move(bench)), seed_(seed) {}
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+  ~Report() { write(); }
+
+  Report& config(std::string key, double v) {
+    config_.set(std::move(key), obs::Json(v));
+    return *this;
+  }
+  Report& config(std::string key, std::string v) {
+    config_.set(std::move(key), obs::Json(std::move(v)));
+    return *this;
+  }
+
+  /// Appends a row; the reference stays valid (rows live in a deque).
+  Row& row() { return rows_.emplace_back(); }
+
+  [[nodiscard]] obs::Json to_json() const {
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", "aio-bench-v1");
+    doc.set("bench", bench_);
+    doc.set("seed", obs::Json(static_cast<double>(seed_)));
+    doc.set("config", config_);
+    obs::Json rows = obs::Json::array();
+    for (const Row& r : rows_) {
+      obs::Json row = obs::Json::object();
+      row.set("tags", r.tags_);
+      row.set("values", r.values_);
+      row.set("stats", r.stats_);
+      rows.push(std::move(row));
+    }
+    doc.set("rows", std::move(rows));
+    return doc;
+  }
+
+  /// Writes to AIO_BENCH_JSON if set; idempotent (first call wins).
+  void write() {
+    if (written_) return;
+    const char* path = std::getenv("AIO_BENCH_JSON");
+    if (!path || !*path) return;
+    written_ = true;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write AIO_BENCH_JSON=%s\n", path);
+      return;
+    }
+    out << to_json().dump() << '\n';
+  }
+
+ private:
+  std::string bench_;
+  std::uint64_t seed_;
+  obs::Json config_ = obs::Json::object();
+  std::deque<Row> rows_;
+  bool written_ = false;
+};
+
+}  // namespace aio::bench

@@ -61,12 +61,13 @@ SeriesResult hourly_series(const std::string& label, const fs::MachineSpec& spec
   return out;
 }
 
-void report(const std::vector<SeriesResult>& series) {
+void report(const std::vector<SeriesResult>& series, bench::Report& rep) {
   stats::Table table({"Machine", "Samples", "Avg. IO Bandwidth (MB/sec)",
                       "Std. Deviation (MB/sec)", "Covariance"});
   for (const auto& s : series) {
     stats::Summary summary;
     for (const double bw : s.bandwidths) summary.add(bw / 1e6);
+    rep.row().tag("machine", s.machine).stat("bw_mbs", summary);
     table.add_row({s.machine, std::to_string(summary.count()),
                    stats::Table::num(summary.mean(), 1),
                    stats::Table::num(summary.stddev(), 1),
@@ -96,6 +97,8 @@ int main() {
   const std::size_t franklin_samples = std::min<std::size_t>(jaguar_samples, 365);
   const std::size_t xtp_samples = std::min<std::size_t>(jaguar_samples, 60);
 
+  bench::Report rep("table1_external_interference", 11);
+  rep.config("samples", static_cast<double>(jaguar_samples));
   std::vector<SeriesResult> series;
   series.push_back(hourly_series("Jaguar", fs::jaguar(), 512, 512, jaguar_samples, 11, false));
   series.push_back(
@@ -103,7 +106,7 @@ int main() {
   series.push_back(hourly_series("XTP (with Int.)", fs::xtp(), 512, 40, xtp_samples, 17, true));
   series.push_back(
       hourly_series("XTP (without Int.)", fs::xtp(), 512, 40, xtp_samples, 19, false));
-  report(series);
+  report(series, rep);
 
   // The paper's summary observation across all external-interference tests.
   stats::Summary imbalance;
@@ -118,6 +121,7 @@ int main() {
       machine.advance(3600.0);
     }
   }
+  rep.row().tag("machine", "Jaguar").tag("metric", "imbalance_factor").stat("imbalance", imbalance);
   std::printf("Overall average imbalance factor (paper: ~3.9): %.2f\n", imbalance.mean());
   return 0;
 }

@@ -6,9 +6,12 @@
 // series, and the imbalance factor over time — the phenomena of the paper's
 // Section II in one self-contained program.
 #include <cstdio>
+#include <functional>
 
 #include "fs/interference.hpp"
 #include "fs/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
 #include "workload/ior.hpp"
@@ -17,11 +20,22 @@ using namespace aio;
 
 int main() {
   const fs::MachineSpec spec = fs::jaguar();
-  sim::Engine engine;
+  obs::Registry metrics;
+  sim::Engine engine(/*trace=*/nullptr, &metrics);
   fs::FileSystem filesystem(engine, spec.fs);
   fs::BackgroundLoad load(engine, sim::Rng(2026).fork(1), spec.load,
                           filesystem.ost_pointers());
   load.start();
+
+  // Sample the storage landscape into the registry every simulated 30 s.
+  // Daemon events never keep run() alive, so sampling is purely an observer.
+  obs::Sampler sampler(metrics, /*trace=*/nullptr, /*period_s=*/30.0);
+  filesystem.register_probes(sampler, /*per_ost_limit=*/8);
+  std::function<void()> arm = [&] {
+    sampler.tick(engine.now());
+    engine.schedule_daemon_after(sampler.period(), arm);
+  };
+  engine.schedule_daemon_after(sampler.period(), arm);
   engine.run_until(600.0);  // let the load process reach steady state
 
   // Snapshot of the load landscape across the first 64 OSTs.
@@ -47,6 +61,8 @@ int main() {
     const workload::IorSample s = workload::run_ior_once(filesystem, cfg);
     bandwidths.push_back(s.aggregate_bw / 1e9);
     bw_summary.add(s.aggregate_bw / 1e9);
+    metrics.counter("study.ior_samples").add();
+    metrics.gauge("study.last_imbalance").set(s.imbalance);
     std::printf("%6d %11.2f GB/s %11.2fx\n", minute, s.aggregate_bw / 1e9, s.imbalance);
     engine.run_until(engine.now() + 180.0);
   }
@@ -56,5 +72,8 @@ int main() {
               bw_summary.mean(), bw_summary.stddev(), bw_summary.cv() * 100.0);
   const stats::Histogram hist = stats::Histogram::fit(bandwidths, 8);
   std::printf("bandwidth histogram (GB/s):\n%s", hist.render(40).c_str());
+
+  std::printf("\nend-of-run metrics (obs::Registry, %zu-sample per-OST series):\n%s",
+              sampler.ticks(), metrics.render_text().c_str());
   return 0;
 }

@@ -94,7 +94,11 @@ core::LocalIndex WriteSet::blueprint(core::Rank rank) const {
 }
 
 Simulation::Simulation(fs::MachineSpec spec, std::uint64_t seed, Options options)
-    : spec_(std::move(spec)), options_(options), rng_(seed) {
+    : spec_(std::move(spec)),
+      options_(options),
+      trace_(obs::TraceSink::from_env()),
+      engine_(trace_.get(), &metrics_),
+      rng_(seed) {
   fs_ = std::make_unique<fs::FileSystem>(engine_, spec_.fs);
   net::NetConfig nc;
   nc.latency_s = spec_.msg_latency_s;
@@ -110,10 +114,26 @@ Simulation::Simulation(fs::MachineSpec spec, std::uint64_t seed, Options options
     job_ = std::make_unique<fs::InterferenceJob>(engine_, fs::InterferenceJob::Config{},
                                                  fs_->ost_pointers());
   }
+  if (options_.metrics_sample_period_s > 0.0) {
+    sampler_ = std::make_unique<obs::Sampler>(metrics_, trace_.get(),
+                                              options_.metrics_sample_period_s);
+    fs_->register_probes(*sampler_, options_.metrics_per_ost);
+    arm_sampler();
+  }
+}
+
+void Simulation::arm_sampler() {
+  // Daemon events never keep run() alive, so sampling cannot change when a
+  // simulation terminates — only what is observed along the way.
+  engine_.schedule_daemon_after(sampler_->period(), [this] {
+    sampler_->tick(engine_.now());
+    arm_sampler();
+  });
 }
 
 Simulation::~Simulation() {
   if (job_ && job_->running()) job_->stop();
+  if (trace_) trace_->write();
 }
 
 void Simulation::advance(double seconds) { engine_.run_until(engine_.now() + seconds); }
@@ -176,7 +196,13 @@ core::IoResult Simulation::write_step(const IoGroup& group, Method method,
     if (job_) job_->stop();
   });
   engine_.run();
-  if (!done) throw std::logic_error("Simulation::write_step: transport did not complete");
+  if (!done) {
+    throw std::runtime_error(
+        "Simulation::write_step: transport did not complete (event queue drained at t=" +
+        std::to_string(engine_.now()) + "s after " + std::to_string(engine_.steps()) +
+        " steps; pending=" + std::to_string(engine_.pending()) +
+        " pending_normal=" + std::to_string(engine_.pending_normal()) + ")");
+  }
   return result;
 }
 

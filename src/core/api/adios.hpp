@@ -32,6 +32,9 @@
 #include "fs/interference.hpp"
 #include "fs/machine.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 
 namespace aio::api {
@@ -110,6 +113,11 @@ class Simulation {
     std::size_t mpiio_stripes = 0;     ///< 0 = stripe limit
     std::size_t adaptive_concurrency = 1;
     bool adaptive_stealing = true;
+    /// > 0 arms a sampling daemon at this period feeding the metrics
+    /// registry (per-OST occupancy/bandwidth series + aggregates).
+    double metrics_sample_period_s = 0.0;
+    /// Per-OST series cap when sampling is armed (aggregates are exempt).
+    std::size_t metrics_per_ost = 16;
   };
 
   Simulation(fs::MachineSpec spec, std::uint64_t seed, Options options);
@@ -131,15 +139,28 @@ class Simulation {
   [[nodiscard]] net::Network& network() { return *net_; }
   [[nodiscard]] const fs::MachineSpec& spec() const { return spec_; }
 
+  /// End-of-run metrics: always available (counters/gauges cost nothing to
+  /// keep); series fill only when `metrics_sample_period_s` is set.
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+  /// Trace sink built from AIO_TRACE, or null.  Written out on destruction.
+  [[nodiscard]] obs::TraceSink* trace() { return trace_.get(); }
+
  private:
+  void arm_sampler();
+
   fs::MachineSpec spec_;
   Options options_;
+  // Observability state must precede engine_: the engine captures the
+  // pointers at construction.
+  std::unique_ptr<obs::TraceSink> trace_;
+  obs::Registry metrics_;
   sim::Engine engine_;
   sim::Rng rng_;
   std::unique_ptr<fs::FileSystem> fs_;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<fs::BackgroundLoad> load_;
   std::unique_ptr<fs::InterferenceJob> job_;
+  std::unique_ptr<obs::Sampler> sampler_;
 };
 
 }  // namespace aio::api

@@ -57,6 +57,22 @@ class CoordinatorFsm {
   [[nodiscard]] std::size_t outstanding_grants() const { return outstanding_; }
   [[nodiscard]] std::uint64_t total_steals() const { return total_steals_; }
   [[nodiscard]] std::uint64_t grants_issued() const { return grants_issued_; }
+  /// Writers redirected away from group `g` so far.
+  [[nodiscard]] std::uint64_t stolen_from(GroupId g) const {
+    return stolen_from_.at(static_cast<std::size_t>(g));
+  }
+  /// Adaptive writes landed in file `g` so far.
+  [[nodiscard]] std::uint64_t writes_into(GroupId g) const {
+    return writes_into_.at(static_cast<std::size_t>(g));
+  }
+  /// Coordinator's view of group `g`'s queue depth: writers not yet
+  /// redirected away (the steal-source ranking key).
+  [[nodiscard]] std::size_t remaining_writers(GroupId g) const {
+    const auto idx = static_cast<std::size_t>(g);
+    const std::uint64_t stolen = stolen_from_.at(idx);
+    const std::size_t size = config_.group_sizes.at(idx);
+    return size > stolen ? size - static_cast<std::size_t>(stolen) : 0;
+  }
   [[nodiscard]] const GlobalIndex& global_index() const { return global_index_; }
   [[nodiscard]] const Config& config() const { return config_; }
 

@@ -9,6 +9,8 @@
 #include "core/protocol/coordinator_fsm.hpp"
 #include "core/protocol/subcoordinator_fsm.hpp"
 #include "core/protocol/writer_fsm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aio::core {
 
@@ -38,14 +40,25 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
   std::size_t opens_remaining = 0;
   std::size_t closes_remaining = 0;
 
+  // Observability hooks from the engine; `trace` is pre-gated on the
+  // protocol category so the hot paths test one pointer.
+  obs::TraceSink* trace = nullptr;
+  obs::Registry* metrics = nullptr;
+
   AdaptiveRun(fs::FileSystem& f, net::Network& n, AdaptiveTransport::Config c, Topology t)
-      : fs(f), net(n), cfg(std::move(c)), topo(t) {}
+      : fs(f), net(n), cfg(std::move(c)), topo(t) {
+    trace = fs.engine().trace();
+    if (trace && !trace->wants(obs::kCatProtocol)) trace = nullptr;
+    metrics = fs.engine().metrics();
+  }
 
   void begin(const IoJob& job);
   void start_protocol();
   void execute(Rank from, Actions actions);
   void deliver(Rank to, const Message& msg);
   void all_roles_done();
+  void trace_steal_grant(const SendAction& send);
+  void trace_steal_complete(const WriteComplete& msg);
 };
 
 void AdaptiveRun::begin(const IoJob& job) {
@@ -144,7 +157,60 @@ void AdaptiveRun::start_protocol() {
   }
 }
 
+void AdaptiveRun::trace_steal_grant(const SendAction& send) {
+  // An ADAPTIVE_WRITE_START leaving the coordinator is a steal grant: the
+  // destination rank is the SC of the group being stolen *from*; the body
+  // names the file being stolen *into*.
+  const auto* grant = std::get_if<AdaptiveWriteStart>(&send.msg.body);
+  if (!grant) return;
+  if (metrics) metrics->counter("protocol.steal_grants").add();
+  if (!trace) return;
+  const CoordinatorFsm& coord = *actors[0].coord;
+  const GroupId source = topo.group_of(send.to);
+  trace->instant(
+      obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(send.to),
+      fs.engine().now(), "steal.grant",
+      {{"source_sc", obs::Json(static_cast<double>(source))},
+       {"target_file", obs::Json(static_cast<double>(grant->target_file))},
+       {"offset", obs::Json(grant->offset)},
+       {"source_queue_depth",
+        obs::Json(static_cast<double>(coord.remaining_writers(source)))},
+       {"target_writes_into",
+        obs::Json(static_cast<double>(coord.writes_into(grant->target_file)))}});
+}
+
+void AdaptiveRun::trace_steal_complete(const WriteComplete& msg) {
+  if (metrics) metrics->counter("protocol.steals").add();
+  if (!trace) return;
+  const CoordinatorFsm& coord = *actors[0].coord;
+  trace->instant(
+      obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(msg.writer),
+      fs.engine().now(), "steal.complete",
+      {{"writer", obs::Json(static_cast<double>(msg.writer))},
+       {"source_sc", obs::Json(static_cast<double>(msg.origin_group))},
+       {"target_file", obs::Json(static_cast<double>(msg.file))},
+       {"bytes", obs::Json(msg.bytes)},
+       {"source_queue_depth",
+        obs::Json(static_cast<double>(coord.remaining_writers(msg.origin_group)))},
+       {"target_writes_into",
+        obs::Json(static_cast<double>(coord.writes_into(msg.file)))}});
+}
+
 void AdaptiveRun::deliver(Rank to, const Message& msg) {
+  if (trace) {
+    trace->instant(obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(to),
+                   fs.engine().now(), msg.name(),
+                   {{"from", obs::Json(static_cast<double>(msg.from))}});
+  }
+  if (metrics) {
+    metrics->counter("protocol.msgs").add();
+    if (std::holds_alternative<WritersBusy>(msg.body))
+      metrics->counter("protocol.busy_declines").add();
+  }
+  if (const auto* wc = std::get_if<WriteComplete>(&msg.body);
+      wc && wc->kind == WriteComplete::Kind::AdaptiveDone && (trace || metrics)) {
+    trace_steal_complete(*wc);
+  }
   RankActor& actor = actors.at(static_cast<std::size_t>(to));
   struct Visitor {
     RankActor& actor;
@@ -170,25 +236,56 @@ void AdaptiveRun::execute(Rank from, Actions actions) {
   auto self = shared_from_this();
   for (auto& action : actions) {
     if (auto* send = std::get_if<SendAction>(&action)) {
+      if ((trace || metrics) && from == Topology::coordinator_rank()) trace_steal_grant(*send);
       const Rank to = send->to;
       net.send(from, to, send->msg.wire_bytes(),
                [self, to, msg = std::move(send->msg)] { self->deliver(to, msg); });
     } else if (const auto* write = std::get_if<StartWriteAction>(&action)) {
       result.writer_times[static_cast<std::size_t>(from)].start = fs.engine().now();
+      if (trace) {
+        trace->begin(obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(from),
+                     fs.engine().now(), "write",
+                     {{"file", obs::Json(static_cast<double>(write->file))},
+                      {"offset", obs::Json(write->offset)},
+                      {"bytes", obs::Json(write->bytes)}});
+      }
       files.at(static_cast<std::size_t>(write->file))
           ->write(write->offset, write->bytes, data_mode, [self, from](sim::Time now) {
             self->result.writer_times[static_cast<std::size_t>(from)].end = now;
+            if (self->trace) {
+              self->trace->end(obs::kCatProtocol, obs::kPidProtocol,
+                               static_cast<std::uint32_t>(from), now);
+            }
             self->execute(
                 from, self->actors[static_cast<std::size_t>(from)].writer->on_write_done());
           });
     } else if (const auto* widx = std::get_if<WriteIndexAction>(&action)) {
+      if (trace) {
+        trace->begin(obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(from),
+                     fs.engine().now(), "index_write",
+                     {{"file", obs::Json(static_cast<double>(widx->file))},
+                      {"bytes", obs::Json(widx->bytes)}});
+      }
       files.at(static_cast<std::size_t>(widx->file))
-          ->write(widx->offset, widx->bytes, fs::Ost::Mode::Durable, [self, from](sim::Time) {
+          ->write(widx->offset, widx->bytes, fs::Ost::Mode::Durable, [self, from](sim::Time now) {
+            if (self->trace) {
+              self->trace->end(obs::kCatProtocol, obs::kPidProtocol,
+                               static_cast<std::uint32_t>(from), now);
+            }
             self->execute(from,
                           self->actors[static_cast<std::size_t>(from)].sc->on_index_write_done());
           });
     } else if (const auto* gidx = std::get_if<WriteGlobalIndexAction>(&action)) {
-      master->write(0.0, gidx->bytes, fs::Ost::Mode::Durable, [self, from](sim::Time) {
+      if (trace) {
+        trace->begin(obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(from),
+                     fs.engine().now(), "global_index_write",
+                     {{"bytes", obs::Json(gidx->bytes)}});
+      }
+      master->write(0.0, gidx->bytes, fs::Ost::Mode::Durable, [self, from](sim::Time now) {
+        if (self->trace) {
+          self->trace->end(obs::kCatProtocol, obs::kPidProtocol,
+                           static_cast<std::uint32_t>(from), now);
+        }
         self->execute(
             from, self->actors[static_cast<std::size_t>(from)].coord->on_global_index_write_done());
       });
@@ -204,6 +301,11 @@ void AdaptiveRun::all_roles_done() {
   const CoordinatorFsm& coord = *actors[0].coord;
   result.steals = coord.total_steals();
   result.grants_issued = coord.grants_issued();
+  if (metrics) {
+    metrics->counter("protocol.runs").add();
+    metrics->gauge("protocol.last_steals").set(static_cast<double>(result.steals));
+    metrics->gauge("protocol.last_grants").set(static_cast<double>(result.grants_issued));
+  }
   result.total_blocks_indexed = coord.global_index().total_blocks();
   result.global_index = std::make_shared<GlobalIndex>(coord.global_index());
   result.output_files = files;

@@ -19,7 +19,9 @@ struct RunState {
 
   explicit RunState(fs::FileSystem& f) : fs(f) {}
 
-  void start_data_reads() {
+  // `self` keeps this RunState alive until the last completion fires; the
+  // state must not store a self-reference itself (that cycle would leak).
+  void start_data_reads(const std::shared_ptr<RunState>& self) {
     result.t_lookup_done = fs.engine().now();
     // One read per block, all readers concurrent: reader r loads writer r's
     // blocks from wherever the adaptive run placed them.
@@ -29,11 +31,11 @@ struct RunState {
         ++pending;
         result.total_bytes += static_cast<double>(block.length);
         file->read(static_cast<double>(block.file_offset), static_cast<double>(block.length),
-                   [this](sim::Time now) {
-                     ++result.blocks_read;
-                     if (--pending == 0) {
-                       result.t_complete = now;
-                       on_done(result);
+                   [self](sim::Time now) {
+                     ++self->result.blocks_read;
+                     if (--self->pending == 0) {
+                       self->result.t_complete = now;
+                       self->on_done(self->result);
                      }
                    },
                    cfg.max_segments);
@@ -57,7 +59,7 @@ void ReadbackEngine::run(std::shared_ptr<const GlobalIndex> index,
   state->files = std::move(files);
   state->master = master;
   state->result.t_begin = fs_.engine().now();
-  state->on_done = [state, cb = std::move(on_done)](ReadbackResult r) { cb(r); };
+  state->on_done = std::move(on_done);
 
   if (config_.lookup == ReadbackConfig::Lookup::GlobalIndex) {
     // "a single lookup into the index": one metadata op to locate the
@@ -65,7 +67,7 @@ void ReadbackEngine::run(std::shared_ptr<const GlobalIndex> index,
     state->result.mds_ops = 1;
     fs_.mds().submit(fs::MetadataServer::OpKind::Stat, [state](sim::Time) {
       state->master->read(0.0, static_cast<double>(state->index->serialized_size()),
-                          [state](sim::Time) { state->start_data_reads(); });
+                          [state](sim::Time) { state->start_data_reads(state); });
     });
     return;
   }
@@ -81,7 +83,7 @@ void ReadbackEngine::run(std::shared_ptr<const GlobalIndex> index,
     fs_.mds().submit(fs::MetadataServer::OpKind::Stat,
                      [state, file, index_bytes, remaining](sim::Time) {
                        file->read(0.0, std::max(index_bytes, 1.0), [state, remaining](sim::Time) {
-                         if (--*remaining == 0) state->start_data_reads();
+                         if (--*remaining == 0) state->start_data_reads(state);
                        });
                      });
   }

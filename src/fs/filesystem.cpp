@@ -5,6 +5,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/sampler.hpp"
+
 namespace aio::fs {
 
 StripedFile::StripedFile(FileSystem& fs, std::string path, std::vector<std::size_t> targets,
@@ -159,6 +161,54 @@ StripedFile& FileSystem::open_immediate(std::string path, std::size_t stripe_cou
 void FileSystem::close(StripedFile& file, OnComplete on_complete) {
   (void)file;
   mds_.submit(MetadataServer::OpKind::Close, std::move(on_complete));
+}
+
+void FileSystem::register_probes(obs::Sampler& sampler, std::size_t per_ost_limit) {
+  const std::size_t n = std::min(per_ost_limit, osts_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    Ost* o = osts_[i].get();
+    const std::string prefix = "ost" + std::to_string(i);
+    sampler.add_probe(prefix + ".cache_occupancy",
+                      [o](double) { return o->cache_occupancy(); });
+    sampler.add_probe(prefix + ".inflight",
+                      [o](double) { return static_cast<double>(o->active_ops()); });
+    // Effective bandwidth: bytes drained to disk since the previous sample,
+    // divided by the sample gap.
+    sampler.add_probe(prefix + ".drain_bw",
+                      [o, prev_t = 0.0, prev_b = 0.0](double now) mutable {
+                        const double drained = o->cum_drained();
+                        const double dt = now - prev_t;
+                        const double bw = dt > 0.0 ? (drained - prev_b) / dt : 0.0;
+                        prev_t = now;
+                        prev_b = drained;
+                        return bw;
+                      });
+    sampler.add_probe(prefix + ".load", [o](double) { return o->net_load(); });
+  }
+  sampler.add_probe("fs.cache_total", [this](double) {
+    double q = 0.0;
+    for (const auto& o : osts_) q += o->cache_occupancy();
+    return q;
+  });
+  sampler.add_probe("fs.inflight_total", [this](double) {
+    std::size_t ops = 0;
+    for (const auto& o : osts_) ops += o->active_ops();
+    return static_cast<double>(ops);
+  });
+  sampler.add_probe("fs.drain_bw", [this, prev_t = 0.0, prev_b = 0.0](double now) mutable {
+    double drained = 0.0;
+    for (const auto& o : osts_) drained += o->cum_drained();
+    const double dt = now - prev_t;
+    const double bw = dt > 0.0 ? (drained - prev_b) / dt : 0.0;
+    prev_t = now;
+    prev_b = drained;
+    return bw;
+  });
+  sampler.add_probe("fs.fabric_active",
+                    [this](double) { return static_cast<double>(fabric_.active_count()); });
+  sampler.add_probe(
+      "mds.backlog", [this](double) { return static_cast<double>(mds_.backlog()); },
+      obs::kPidMds);
 }
 
 double FileSystem::total_bytes_submitted() const {

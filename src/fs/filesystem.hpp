@@ -20,6 +20,10 @@
 #include "fs/ost.hpp"
 #include "sim/engine.hpp"
 
+namespace aio::obs {
+class Sampler;
+}  // namespace aio::obs
+
 namespace aio::fs {
 
 struct FsConfig {
@@ -106,6 +110,13 @@ class FileSystem {
 
   /// Total bytes accepted by all OSTs (conservation checks in tests).
   [[nodiscard]] double total_bytes_submitted() const;
+
+  /// Registers the standard file-system probe set on `sampler`: per-OST
+  /// cache occupancy, in-flight streams, effective (drain) bandwidth and
+  /// background-load level for the first `per_ost_limit` OSTs, plus
+  /// fleet-wide aggregates and the MDS backlog.  The per-OST limit bounds
+  /// series count on 672-target machines; aggregates always cover all OSTs.
+  void register_probes(obs::Sampler& sampler, std::size_t per_ost_limit = 32);
 
  private:
   StripedFile& make_file(std::string path, std::size_t stripe_count, std::size_t first_ost,

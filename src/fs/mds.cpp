@@ -3,11 +3,31 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace aio::fs {
+
+namespace {
+const char* op_name(MetadataServer::OpKind kind) {
+  switch (kind) {
+    case MetadataServer::OpKind::Open: return "mds.open";
+    case MetadataServer::OpKind::Close: return "mds.close";
+    case MetadataServer::OpKind::Stat: return "mds.stat";
+  }
+  return "mds.op";
+}
+}  // namespace
 
 void MetadataServer::submit(OpKind kind, OnComplete on_complete) {
   queue_.push_back(Request{kind, std::move(on_complete)});
   peak_backlog_ = std::max(peak_backlog_, backlog());
+  if (auto* trace = engine_.trace(); trace && trace->wants(obs::kCatMds)) {
+    // The backlog track makes an open storm directly visible: every rank's
+    // simultaneous open stacks up here before the serial server drains it.
+    trace->counter(obs::kCatMds, obs::kPidMds, engine_.now(), "mds.backlog",
+                   static_cast<double>(backlog()));
+  }
   if (!busy_) dispatch();
 }
 
@@ -21,11 +41,23 @@ void MetadataServer::dispatch() {
   queue_.pop_front();
   const double service =
       base_time(req.kind) * (1.0 + config_.queue_penalty * static_cast<double>(queue_.size()));
+  if (auto* trace = engine_.trace(); trace && trace->wants(obs::kCatMds)) {
+    trace->begin(obs::kCatMds, obs::kPidMds, 0, engine_.now(), op_name(req.kind),
+                 {{"queued_behind", obs::Json(static_cast<double>(queue_.size()))},
+                  {"service_s", obs::Json(service)}});
+  }
   engine_.schedule_after(service, [this, req = std::move(req)]() mutable {
     ++completed_;
+    if (auto* trace = engine_.trace(); trace && trace->wants(obs::kCatMds))
+      trace->end(obs::kCatMds, obs::kPidMds, 0, engine_.now());
+    if (auto* reg = engine_.metrics()) reg->counter("mds.ops").add();
     // Dispatch the next request before running the callback so a callback
     // that submits more work observes an idle-or-busy server consistently.
     dispatch();
+    if (auto* trace = engine_.trace(); trace && trace->wants(obs::kCatMds)) {
+      trace->counter(obs::kCatMds, obs::kPidMds, engine_.now(), "mds.backlog",
+                     static_cast<double>(backlog()));
+    }
     if (req.on_complete) req.on_complete(engine_.now());
   });
 }

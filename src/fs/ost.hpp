@@ -31,6 +31,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -126,6 +127,9 @@ class Ost {
   void recompute();  ///< derives rates from current state and re-arms event
   void fire();       ///< event handler: completes ops, re-derives rates
   [[nodiscard]] bool flush_ready() const;
+  /// Emits cache-full / dirty-stream transition events when a trace sink is
+  /// installed on the engine (called from recompute with its derived state).
+  void trace_state(double q, std::size_t m_dirty, bool cache_full);
 
   [[nodiscard]] double efficiency(std::size_t m) const {
     if (m <= 1) return 1.0;
@@ -160,6 +164,11 @@ class Ost {
   sim::EventHandle pending_;
   ActivityHook activity_hook_;
   bool was_active_ = false;
+
+  // Last traced state, used to emit only transitions (not every recompute).
+  bool traced_cache_full_ = false;
+  std::size_t traced_m_dirty_ = 0;
+  std::string trace_name_;  // "ost<i>", built lazily on first traced event
 };
 
 }  // namespace aio::fs

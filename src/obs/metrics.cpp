@@ -1,0 +1,100 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace aio::obs {
+
+void Series::add(double t, double v) {
+  if (offered_++ % stride_ != 0) return;
+  samples_.emplace_back(t, v);
+  if (samples_.size() >= max_points_ && max_points_ >= 2) {
+    // Keep every other sample and accept half as often from here on; the
+    // retained points stay uniformly spaced in offer order.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < samples_.size(); i += 2) samples_[kept++] = samples_[i];
+    samples_.resize(kept);
+    stride_ *= 2;
+  }
+}
+
+Series& Registry::series(const std::string& name, std::size_t max_points) {
+  auto it = series_.find(name);
+  if (it == series_.end()) it = series_.emplace(name, Series(max_points)).first;
+  return it->second;
+}
+
+Json Registry::to_json() const {
+  Json doc = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) counters.set(name, static_cast<double>(c.value()));
+  doc.set("counters", std::move(counters));
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, g.value());
+  doc.set("gauges", std::move(gauges));
+  Json series = Json::object();
+  for (const auto& [name, s] : series_) {
+    Json points = Json::array();
+    for (const auto& [t, v] : s.samples()) {
+      Json point = Json::array();
+      point.push(t);
+      point.push(v);
+      points.push(std::move(point));
+    }
+    series.set(name, std::move(points));
+  }
+  doc.set("series", std::move(series));
+  return doc;
+}
+
+void Registry::write_series_csv(std::ostream& out) const {
+  out << "series,t,value\n";
+  std::string num;
+  for (const auto& [name, s] : series_) {
+    for (const auto& [t, v] : s.samples()) {
+      num.clear();
+      Json::append_number(num, t);
+      out << name << ',' << num << ',';
+      num.clear();
+      Json::append_number(num, v);
+      out << num << '\n';
+    }
+  }
+}
+
+std::string Registry::render_text() const {
+  std::size_t width = 0;
+  for (const auto& [name, c] : counters_) width = std::max(width, name.size());
+  for (const auto& [name, g] : gauges_) width = std::max(width, name.size());
+  for (const auto& [name, s] : series_) width = std::max(width, name.size());
+  std::string out;
+  auto line = [&out, width](const std::string& name, const std::string& value) {
+    out += "  ";
+    out += name;
+    out.append(width + 2 - name.size(), ' ');
+    out += value;
+    out += '\n';
+  };
+  std::string num;
+  for (const auto& [name, c] : counters_) {
+    num.clear();
+    Json::append_number(num, static_cast<double>(c.value()));
+    line(name, num);
+  }
+  for (const auto& [name, g] : gauges_) {
+    num.clear();
+    Json::append_number(num, g.value());
+    line(name, num);
+  }
+  for (const auto& [name, s] : series_) {
+    num.clear();
+    Json::append_number(num, s.last());
+    num += " (last of ";
+    Json::append_number(num, static_cast<double>(s.samples().size()));
+    num += " samples)";
+    line(name, num);
+  }
+  return out;
+}
+
+}  // namespace aio::obs

@@ -1,0 +1,20 @@
+#include "obs/sampler.hpp"
+
+namespace aio::obs {
+
+void Sampler::add_probe(std::string name, Probe probe, std::uint32_t trace_pid) {
+  Series& series = registry_.series(name);
+  probes_.push_back(Entry{&series, std::move(name), trace_pid, std::move(probe)});
+}
+
+void Sampler::tick(double now) {
+  ++ticks_;
+  for (Entry& p : probes_) {
+    const double v = p.probe(now);
+    p.series->add(now, v);
+    if (trace_ && trace_->wants(kCatSampler))
+      trace_->counter(kCatSampler, p.pid, now, p.name, v);
+  }
+}
+
+}  // namespace aio::obs

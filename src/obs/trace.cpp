@@ -1,0 +1,206 @@
+#include "obs/trace.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+namespace aio::obs {
+
+namespace {
+
+const char* cat_name(std::uint32_t cat) {
+  switch (cat) {
+    case kCatEngine: return "engine";
+    case kCatProtocol: return "protocol";
+    case kCatStorage: return "storage";
+    case kCatMds: return "mds";
+    case kCatRuntime: return "runtime";
+    case kCatSampler: return "sampler";
+    default: return "misc";
+  }
+}
+
+constexpr double kUsPerSecond = 1e6;
+
+}  // namespace
+
+TraceSink::TraceSink(Config config) : config_(std::move(config)) {
+  // Pre-name the fixed per-layer tracks so every trace groups the same way.
+  name_process(kPidEngine, "des engine");
+  name_process(kPidProtocol, "adaptive protocol");
+  name_process(kPidStorage, "storage targets");
+  name_process(kPidMds, "metadata server");
+  name_process(kPidRuntime, "thread runtime");
+}
+
+std::unique_ptr<TraceSink> TraceSink::from_env() {
+  const char* path = std::getenv("AIO_TRACE");
+  if (!path || !*path) return nullptr;
+  Config cfg;
+  // One trace file per sink within a process: <path>, <path>.2, <path>.3...
+  static int instances = 0;
+  ++instances;
+  cfg.path = instances == 1 ? std::string(path)
+                            : std::string(path) + "." + std::to_string(instances);
+  if (const char* cats = std::getenv("AIO_TRACE_CATS")) {
+    if (std::strcmp(cats, "all") == 0 || std::strcmp(cats, "engine") == 0) {
+      cfg.categories = kCatAll;
+    } else if (const long mask = std::atol(cats); mask > 0) {
+      cfg.categories = static_cast<std::uint32_t>(mask);
+    }
+  }
+  return std::make_unique<TraceSink>(std::move(cfg));
+}
+
+void TraceSink::name_process(std::uint32_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  meta_.push_back(Event{'M', 0, pid, 0, 0.0, "process_name",
+                        Args{{"name", Json(std::move(name))}}, 0.0});
+}
+
+void TraceSink::name_thread(std::uint32_t pid, std::uint32_t tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  meta_.push_back(Event{'M', 0, pid, tid, 0.0, "thread_name",
+                        Args{{"name", Json(std::move(name))}}, 0.0});
+}
+
+bool TraceSink::admit(std::uint32_t cat) {
+  if (!wants(cat)) return false;
+  if (events_.size() >= config_.max_events) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void TraceSink::begin(std::uint32_t cat, std::uint32_t pid, std::uint32_t tid, double t_s,
+                      std::string name, Args args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!admit(cat)) return;
+  events_.push_back(
+      Event{'B', cat, pid, tid, t_s * kUsPerSecond, std::move(name), std::move(args), 0.0});
+}
+
+void TraceSink::end(std::uint32_t cat, std::uint32_t pid, std::uint32_t tid, double t_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!admit(cat)) return;
+  events_.push_back(Event{'E', cat, pid, tid, t_s * kUsPerSecond, {}, {}, 0.0});
+}
+
+void TraceSink::instant(std::uint32_t cat, std::uint32_t pid, std::uint32_t tid, double t_s,
+                        std::string name, Args args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!admit(cat)) return;
+  events_.push_back(
+      Event{'i', cat, pid, tid, t_s * kUsPerSecond, std::move(name), std::move(args), 0.0});
+}
+
+void TraceSink::counter(std::uint32_t cat, std::uint32_t pid, double t_s, std::string name,
+                        double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!admit(cat)) return;
+  events_.push_back(Event{'C', cat, pid, 0, t_s * kUsPerSecond, std::move(name), {}, value});
+}
+
+std::size_t TraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::size_t TraceSink::count(char ph, std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Event& e : events_)
+    if (e.ph == ph && (name.empty() || e.name == name)) ++n;
+  return n;
+}
+
+void TraceSink::append_event(std::string& out, const Event& e) {
+  out += "{\"ph\":\"";
+  out += e.ph;
+  out += "\",\"pid\":";
+  Json::append_number(out, e.pid);
+  out += ",\"tid\":";
+  Json::append_number(out, e.tid);
+  out += ",\"ts\":";
+  Json::append_number(out, e.ts_us);
+  if (e.ph != 'E') {
+    out += ",\"name\":";
+    Json::append_quoted(out, e.name);
+  }
+  if (e.ph != 'M') {
+    out += ",\"cat\":\"";
+    out += cat_name(e.cat);
+    out += '"';
+  }
+  if (e.ph == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
+  if (e.ph == 'C') {
+    out += ",\"args\":{\"value\":";
+    Json::append_number(out, e.value);
+    out += '}';
+  } else if (!e.args.empty()) {
+    out += ",\"args\":{";
+    bool first = true;
+    for (const auto& [k, v] : e.args) {
+      if (!first) out += ',';
+      first = false;
+      Json::append_quoted(out, k);
+      out += ':';
+      out += v.dump();
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+Json TraceSink::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json doc = Json::object();
+  Json events = Json::array();
+  auto one = [&events](const Event& e) {
+    std::string s;
+    append_event(s, e);
+    events.push(*Json::parse(s));
+  };
+  for (const Event& e : meta_) one(e);
+  for (const Event& e : events_) one(e);
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  Json other = Json::object();
+  other.set("dropped", static_cast<double>(dropped_));
+  doc.set("otherData", std::move(other));
+  return doc;
+}
+
+void TraceSink::write(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"traceEvents\":[";
+  std::string buf;
+  bool first = true;
+  auto one = [&](const Event& e) {
+    buf.clear();
+    append_event(buf, e);
+    if (!first) out << ',';
+    first = false;
+    out << buf << '\n';
+  };
+  for (const Event& e : meta_) one(e);
+  for (const Event& e : events_) one(e);
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" << dropped_ << "}}\n";
+}
+
+bool TraceSink::write() const {
+  if (config_.path.empty()) return true;
+  std::ofstream out(config_.path);
+  if (!out) return false;
+  write(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace aio::obs

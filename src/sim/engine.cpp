@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace aio::sim {
 
 namespace {
@@ -55,6 +57,14 @@ bool Engine::pop_one() {
       assert(normal_pending_ > 0);
       --normal_pending_;
     }
+    // Per-dispatch tracing is opt-in (Cat::Engine is off by default): one
+    // instant per event multiplies trace volume by the total step count.
+    if (trace_ && trace_->wants(obs::kCatEngine)) {
+      trace_->instant(obs::kCatEngine, obs::kPidEngine, is_daemon(ev.id) ? 2 : 1, now_,
+                      "dispatch",
+                      {{"step", obs::Json(static_cast<double>(steps_))},
+                       {"pending", obs::Json(static_cast<double>(pending()))}});
+    }
     ev.cb();
     return true;
   }
@@ -64,6 +74,12 @@ bool Engine::pop_one() {
 std::size_t Engine::run() {
   std::size_t n = 0;
   while (normal_pending_ > 0 && pop_one()) ++n;
+  return n;
+}
+
+std::size_t Engine::run(std::size_t max_steps) {
+  std::size_t n = 0;
+  while (n < max_steps && normal_pending_ > 0 && pop_one()) ++n;
   return n;
 }
 

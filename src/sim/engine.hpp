@@ -19,6 +19,11 @@
 #include <unordered_set>
 #include <vector>
 
+namespace aio::obs {
+class TraceSink;
+class Registry;
+}  // namespace aio::obs
+
 namespace aio::sim {
 
 /// Simulated time in seconds since the start of the run.
@@ -40,6 +45,19 @@ class EventHandle {
 class Engine {
  public:
   using Callback = std::function<void()>;
+
+  /// An engine optionally carries observability hooks: a trace sink and a
+  /// metrics registry, both null by default.  Everything built on top of the
+  /// engine (file system, transports, MDS) reaches them through `trace()` /
+  /// `metrics()`, so one injection point instruments the whole stack and a
+  /// null pointer keeps every layer on its untraced fast path.
+  explicit Engine(obs::TraceSink* trace = nullptr, obs::Registry* metrics = nullptr)
+      : trace_(trace), metrics_(metrics) {}
+
+  [[nodiscard]] obs::TraceSink* trace() const { return trace_; }
+  [[nodiscard]] obs::Registry* metrics() const { return metrics_; }
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+  void set_metrics(obs::Registry* metrics) { metrics_ = metrics; }
 
   /// Current simulated time.  Starts at zero.
   [[nodiscard]] Time now() const { return now_; }
@@ -78,6 +96,11 @@ class Engine {
   /// events executed by this call (daemons included).
   std::size_t run();
 
+  /// Like run(), but executes at most `max_steps` events.  A return value
+  /// equal to `max_steps` with `pending_normal() > 0` means the budget ran
+  /// out before the simulation drained (watchdog tripped).
+  std::size_t run(std::size_t max_steps);
+
   /// Runs events with time <= `t` (normal or daemon), then advances the
   /// clock to exactly `t`.  Returns the number of events executed.
   std::size_t run_until(Time t);
@@ -108,6 +131,8 @@ class Engine {
   std::uint64_t next_serial_ = 1;
   std::size_t steps_ = 0;
   std::size_t normal_pending_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace aio::sim
