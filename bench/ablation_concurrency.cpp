@@ -6,6 +6,7 @@
 // local writers in flight per sub-coordinator file.  More concurrency
 // trades per-target interference for shorter queues.
 #include "harness.hpp"
+#include "parallel.hpp"
 #include "workload/pixie3d.hpp"
 
 namespace {
@@ -25,32 +26,49 @@ int main() {
   stats::Table table({"procs", "k=1 avg", "k=2 avg", "k=3 avg", "k=2 vs k=1", "k=3 vs k=1"});
   const workload::Pixie3dConfig model = workload::Pixie3dConfig::large_model();
 
-  bench::Machine machine(fs::jaguar(), 910, /*with_load=*/true, /*min_ranks=*/max_procs);
-  for (const std::size_t procs : {std::size_t{2048}, std::size_t{8192}}) {
-    if (procs > max_procs) continue;
-    const core::IoJob job = workload::pixie3d_job(model, procs);
-    double means[4] = {0, 0, 0, 0};
-    for (std::size_t k = 1; k <= 3; ++k) {
-      core::AdaptiveTransport::Config cfg;
-      cfg.n_files = 512;
-      cfg.max_concurrent = k;
-      core::AdaptiveTransport transport(machine.filesystem, machine.network, cfg);
-      stats::Summary bw;
-      for (std::size_t s = 0; s < samples; ++s) {
-        bw.add(machine.run(transport, job).bandwidth());
-        machine.advance(600.0);
+  // One machine carries the whole sweep in sequence: a single unit.
+  struct Point {
+    std::size_t procs;
+    std::size_t k;
+    stats::Summary bw;
+  };
+  const auto points = bench::run_samples(1, [&](std::size_t) {
+    bench::Machine machine(fs::jaguar(), 910, /*with_load=*/true, /*min_ranks=*/max_procs);
+    std::vector<Point> out;
+    for (const std::size_t procs : {std::size_t{2048}, std::size_t{8192}}) {
+      if (procs > max_procs) continue;
+      const core::IoJob job = workload::pixie3d_job(model, procs);
+      for (std::size_t k = 1; k <= 3; ++k) {
+        core::AdaptiveTransport::Config cfg;
+        cfg.n_files = 512;
+        cfg.max_concurrent = k;
+        core::AdaptiveTransport transport(machine.filesystem, machine.network, cfg);
+        stats::Summary bw;
+        for (std::size_t s = 0; s < samples; ++s) {
+          bw.add(machine.run(transport, job).bandwidth());
+          machine.advance(600.0);
+        }
+        out.push_back({procs, k, bw});
       }
-      means[k] = bw.mean();
+    }
+    return out;
+  })[0];
+
+  for (std::size_t i = 0; i < points.size(); i += 3) {
+    double means[4] = {0, 0, 0, 0};
+    for (std::size_t j = 0; j < 3; ++j) {
+      const Point& p = points[i + j];
+      means[p.k] = p.bw.mean();
       report.row()
-          .value("procs", static_cast<double>(procs))
-          .value("writers_per_target", static_cast<double>(k))
-          .stat("bw", bw);
+          .value("procs", static_cast<double>(p.procs))
+          .value("writers_per_target", static_cast<double>(p.k))
+          .stat("bw", p.bw);
     }
     auto pct = [&](std::size_t k) {
       const double gain = (means[k] / means[1] - 1.0) * 100.0;
       return (gain >= 0 ? "+" : "") + stats::Table::num(gain, 1) + "%";
     };
-    table.add_row({std::to_string(procs), stats::Table::bandwidth(means[1]),
+    table.add_row({std::to_string(points[i].procs), stats::Table::bandwidth(means[1]),
                    stats::Table::bandwidth(means[2]), stats::Table::bandwidth(means[3]),
                    pct(2), pct(3)});
   }

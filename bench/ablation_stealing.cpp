@@ -7,6 +7,7 @@
 // Algorithm 3 adds; with it disabled the transport degenerates to static
 // one-file-per-target output.
 #include "harness.hpp"
+#include "parallel.hpp"
 #include "workload/pixie3d.hpp"
 
 namespace {
@@ -27,49 +28,59 @@ int main() {
                       "steal stddev(s)", "steals/run"});
   const workload::Pixie3dConfig model = workload::Pixie3dConfig::large_model();
 
-  bench::Machine machine(fs::jaguar(), 900, /*with_load=*/true, /*min_ranks=*/max_procs);
-  machine.add_interference_job();
-  for (const std::size_t procs : {std::size_t{512}, std::size_t{2048}, std::size_t{8192}}) {
-    if (procs > max_procs) continue;
-    core::AdaptiveTransport::Config off_cfg;
-    off_cfg.n_files = 512;
-    off_cfg.stealing = false;
-    core::AdaptiveTransport off(machine.filesystem, machine.network, off_cfg);
-    core::AdaptiveTransport::Config on_cfg;
-    on_cfg.n_files = 512;
-    core::AdaptiveTransport on(machine.filesystem, machine.network, on_cfg);
+  // One machine carries the whole on/off sweep in sequence: a single unit.
+  struct Point {
+    std::size_t procs;
+    stats::Summary off_bw, off_t, on_bw, on_t, steals;
+  };
+  const auto points = bench::run_samples(1, [&](std::size_t) {
+    bench::Machine machine(fs::jaguar(), 900, /*with_load=*/true, /*min_ranks=*/max_procs);
+    machine.add_interference_job();
+    std::vector<Point> out;
+    for (const std::size_t procs : {std::size_t{512}, std::size_t{2048}, std::size_t{8192}}) {
+      if (procs > max_procs) continue;
+      core::AdaptiveTransport::Config off_cfg;
+      off_cfg.n_files = 512;
+      off_cfg.stealing = false;
+      core::AdaptiveTransport off(machine.filesystem, machine.network, off_cfg);
+      core::AdaptiveTransport::Config on_cfg;
+      on_cfg.n_files = 512;
+      core::AdaptiveTransport on(machine.filesystem, machine.network, on_cfg);
 
-    const core::IoJob job = workload::pixie3d_job(model, procs);
-    stats::Summary off_bw;
-    stats::Summary off_t;
-    stats::Summary on_bw;
-    stats::Summary on_t;
-    stats::Summary steals;
-    for (std::size_t s = 0; s < samples; ++s) {
-      const core::IoResult ro = machine.run(off, job);
-      off_bw.add(ro.bandwidth());
-      off_t.add(ro.io_seconds());
-      machine.advance(600.0);
-      const core::IoResult rn = machine.run(on, job);
-      on_bw.add(rn.bandwidth());
-      on_t.add(rn.io_seconds());
-      steals.add(static_cast<double>(rn.steals));
-      machine.advance(600.0);
+      const core::IoJob job = workload::pixie3d_job(model, procs);
+      Point p;
+      p.procs = procs;
+      for (std::size_t s = 0; s < samples; ++s) {
+        const core::IoResult ro = machine.run(off, job);
+        p.off_bw.add(ro.bandwidth());
+        p.off_t.add(ro.io_seconds());
+        machine.advance(600.0);
+        const core::IoResult rn = machine.run(on, job);
+        p.on_bw.add(rn.bandwidth());
+        p.on_t.add(rn.io_seconds());
+        p.steals.add(static_cast<double>(rn.steals));
+        machine.advance(600.0);
+      }
+      out.push_back(std::move(p));
     }
-    const double gain = (on_bw.mean() / off_bw.mean() - 1.0) * 100.0;
+    return out;
+  })[0];
+
+  for (const auto& p : points) {
+    const double gain = (p.on_bw.mean() / p.off_bw.mean() - 1.0) * 100.0;
     report.row()
-        .value("procs", static_cast<double>(procs))
+        .value("procs", static_cast<double>(p.procs))
         .value("gain_pct", gain)
-        .stat("nosteal_bw", off_bw)
-        .stat("steal_bw", on_bw)
-        .stat("nosteal_t", off_t)
-        .stat("steal_t", on_t)
-        .stat("steals", steals);
-    table.add_row({std::to_string(procs), stats::Table::bandwidth(off_bw.mean()),
-                   stats::Table::bandwidth(on_bw.mean()),
+        .stat("nosteal_bw", p.off_bw)
+        .stat("steal_bw", p.on_bw)
+        .stat("nosteal_t", p.off_t)
+        .stat("steal_t", p.on_t)
+        .stat("steals", p.steals);
+    table.add_row({std::to_string(p.procs), stats::Table::bandwidth(p.off_bw.mean()),
+                   stats::Table::bandwidth(p.on_bw.mean()),
                    (gain >= 0 ? "+" : "") + stats::Table::num(gain, 0) + "%",
-                   stats::Table::num(off_t.stddev(), 2), stats::Table::num(on_t.stddev(), 2),
-                   stats::Table::num(steals.mean(), 0)});
+                   stats::Table::num(p.off_t.stddev(), 2), stats::Table::num(p.on_t.stddev(), 2),
+                   stats::Table::num(p.steals.mean(), 0)});
   }
   std::printf("Stealing ablation (expect: gains once procs >> targets, lower stddev)\n%s\n",
               table.render().c_str());

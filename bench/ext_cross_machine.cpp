@@ -12,7 +12,10 @@
 //     from serialization + stealing only.
 //   * XTP: 40 blades, no Lustre-style limit, quiet machine -> smallest
 //     gains; adaptive must not *hurt*.
+#include <iterator>
+
 #include "harness.hpp"
+#include "parallel.hpp"
 #include "workload/s3d.hpp"
 
 namespace {
@@ -24,6 +27,11 @@ struct MachineCase {
   std::size_t procs;
   std::size_t mpi_stripes;      // 0 = the machine's stripe limit
   std::size_t adaptive_files;
+};
+
+struct CaseResult {
+  stats::Summary mpi_bw;
+  stats::Summary ad_bw;
 };
 
 }  // namespace
@@ -45,8 +53,11 @@ int main() {
   report.config("samples", static_cast<double>(samples));
   stats::Table table({"machine", "procs", "targets (MPI/adaptive)", "MPI-IO avg",
                       "Adaptive avg", "adaptive gain"});
-  for (const MachineCase& mc : cases) {
-    bench::Machine machine(mc.spec, 970, /*with_load=*/true, /*min_ranks=*/mc.procs);
+  // Each machine preset is an independent replication, run concurrently.
+  const auto results = bench::run_samples(std::size(cases), [&](std::size_t i) {
+    const MachineCase& mc = cases[i];
+    bench::Machine machine(mc.spec, 970, /*with_load=*/true, /*min_ranks=*/mc.procs,
+                           /*obs_slot=*/static_cast<int>(i));
     const core::IoJob job = workload::s3d_job(model, mc.procs);
 
     core::MpiioTransport::Config mpi_cfg;
@@ -58,14 +69,20 @@ int main() {
     ad_cfg.n_files = mc.adaptive_files;
     core::AdaptiveTransport adaptive(machine.filesystem, machine.network, ad_cfg);
 
-    stats::Summary mpi_bw;
-    stats::Summary ad_bw;
+    CaseResult out;
     for (std::size_t s = 0; s < samples; ++s) {
-      mpi_bw.add(machine.run(mpi, job).bandwidth());
+      out.mpi_bw.add(machine.run(mpi, job).bandwidth());
       machine.advance(600.0);
-      ad_bw.add(machine.run(adaptive, job).bandwidth());
+      out.ad_bw.add(machine.run(adaptive, job).bandwidth());
       machine.advance(600.0);
     }
+    return out;
+  });
+
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const MachineCase& mc = cases[i];
+    const stats::Summary& mpi_bw = results[i].mpi_bw;
+    const stats::Summary& ad_bw = results[i].ad_bw;
     const double gain = (ad_bw.mean() / mpi_bw.mean() - 1.0) * 100.0;
     report.row()
         .tag("machine", mc.spec.name)

@@ -11,7 +11,10 @@
 // with writer count; aggregate bandwidth peaks near 4 writers/OST (later for
 // cache-friendly 8 MB) and declines 16-28% from 8192 to 16384 writers for
 // sizes >= 128 MB; 1 MB stays cache-absorbed and never declines.
+#include <iterator>
+
 #include "harness.hpp"
+#include "parallel.hpp"
 #include "workload/ior.hpp"
 
 namespace {
@@ -19,6 +22,14 @@ namespace {
 using namespace aio;
 
 constexpr double kMiB = 1 << 20;
+
+// One table line of one per-size series; produced off-thread, printed in
+// order on the main thread.
+struct ScalePoint {
+  std::size_t writers;
+  stats::Summary aggregate;
+  stats::Summary per_writer;
+};
 
 }  // namespace
 
@@ -52,10 +63,15 @@ int main() {
   spec.load.clamp_jitter_lo = 0.9;
   spec.load.clamp_jitter_hi = 1.0;
 
-  for (const double size_mb : sizes_mb) {
-    // Fresh machine per size so cache state does not leak across series.
+  // Each per-writer size is an independent replication — a fresh machine
+  // with its own seed, so cache state does not leak across series and the
+  // series can run concurrently (bench/parallel.hpp).
+  const auto series_for_size = [&](std::size_t i) {
+    const double size_mb = sizes_mb[i];
     bench::Machine machine(spec, /*seed=*/1000 + static_cast<std::uint64_t>(size_mb),
-                           /*with_load=*/true);
+                           /*with_load=*/true, /*min_ranks=*/0, /*obs_slot=*/static_cast<int>(i));
+    std::vector<ScalePoint> points;
+    points.reserve(writer_counts.size());
     for (const std::size_t writers : writer_counts) {
       workload::IorConfig cfg;
       cfg.writers = writers;
@@ -67,20 +83,28 @@ int main() {
       cfg.warmup = 2;         // reach cache steady state before recording
       const workload::IorSeries series = workload::run_ior(machine.filesystem, cfg);
       machine.advance(120.0);  // let caches settle before the next scale
+      points.push_back({writers, series.aggregate_summary(), series.per_writer_summary()});
+    }
+    return points;
+  };
+  const auto per_size = bench::run_samples(std::size(sizes_mb), series_for_size);
 
-      const stats::Summary agg = series.aggregate_summary();
-      const stats::Summary pw = series.per_writer_summary();
-      const std::string ratio = std::to_string(writers / 512) + ":1";
+  for (std::size_t i = 0; i < per_size.size(); ++i) {
+    const double size_mb = sizes_mb[i];
+    for (const ScalePoint& p : per_size[i]) {
+      const stats::Summary& agg = p.aggregate;
+      const stats::Summary& pw = p.per_writer;
+      const std::string ratio = std::to_string(p.writers / 512) + ":1";
       report.row()
           .tag("ratio", ratio)
           .value("size_mb", size_mb)
-          .value("writers", static_cast<double>(writers))
+          .value("writers", static_cast<double>(p.writers))
           .stat("aggregate_bw", agg)
           .stat("per_writer_bw", pw);
-      aggregate.add_row({bench::mb(size_mb * kMiB), std::to_string(writers), ratio,
+      aggregate.add_row({bench::mb(size_mb * kMiB), std::to_string(p.writers), ratio,
                          stats::Table::bandwidth(agg.min()), stats::Table::bandwidth(agg.mean()),
                          stats::Table::bandwidth(agg.max())});
-      per_writer.add_row({bench::mb(size_mb * kMiB), std::to_string(writers), ratio,
+      per_writer.add_row({bench::mb(size_mb * kMiB), std::to_string(p.writers), ratio,
                           stats::Table::bandwidth(pw.min()), stats::Table::bandwidth(pw.mean()),
                           stats::Table::bandwidth(pw.max())});
     }

@@ -12,6 +12,7 @@
 // large model +1%..350% base and +62%..430% with interference; extra-large
 // ~4.8x with >300% whenever there are more processes than targets.
 #include "harness.hpp"
+#include "parallel.hpp"
 #include "workload/pixie3d.hpp"
 
 namespace {
@@ -23,66 +24,58 @@ struct Condition {
   bool interference;
 };
 
-void run_model(const char* title, const char* model_tag, const workload::Pixie3dConfig& model,
-               std::size_t samples, std::size_t max_procs, std::uint64_t seed,
-               bench::Report& report) {
-  stats::Table table({"condition", "procs", "MPI-IO avg", "MPI-IO max", "Adaptive avg",
-                      "Adaptive max", "adaptive gain", "steals/run"});
+constexpr Condition kConditions[] = {{"base", false}, {"interference", true}};
 
-  for (const Condition cond : {Condition{"base", false}, Condition{"interference", true}}) {
-    // One machine per condition: every scale faces the same storage system
-    // and the same evolving background, exactly like consecutive job sizes
-    // on the real Jaguar.
-    bench::Machine machine(fs::jaguar(), seed + (cond.interference ? 7 : 0),
-                           /*with_load=*/true, /*min_ranks=*/max_procs);
-    if (cond.interference) machine.add_interference_job();
-    for (const std::size_t procs : {std::size_t{512}, std::size_t{2048}, std::size_t{8192},
-                                    std::size_t{16384}}) {
-      if (procs > max_procs) continue;
+struct ScalePoint {
+  std::size_t procs;
+  double gain;
+  stats::Summary mpi_bw;
+  stats::Summary ad_bw;
+  stats::Summary steals;
+};
 
-      core::MpiioTransport::Config mpi_cfg;
-      mpi_cfg.stripe_count = 160;
-      // ADIOS's tuned Lustre striping gives every rank a stripe-aligned
-      // region: one contiguous segment per writer.
-      mpi_cfg.stripe_size = model.bytes_per_process();
-      mpi_cfg.max_segments = 4;
-      core::MpiioTransport mpi(machine.filesystem, mpi_cfg);
+// One replication unit: one (model, condition) pair on its own machine —
+// every scale faces the same storage system and the same evolving
+// background, exactly like consecutive job sizes on the real Jaguar.
+std::vector<ScalePoint> run_condition(const workload::Pixie3dConfig& model, bool interference,
+                                      std::size_t samples, std::size_t max_procs,
+                                      std::uint64_t seed, int obs_slot) {
+  bench::Machine machine(fs::jaguar(), seed + (interference ? 7 : 0),
+                         /*with_load=*/true, /*min_ranks=*/max_procs, obs_slot);
+  if (interference) machine.add_interference_job();
+  std::vector<ScalePoint> points;
+  for (const std::size_t procs : {std::size_t{512}, std::size_t{2048}, std::size_t{8192},
+                                  std::size_t{16384}}) {
+    if (procs > max_procs) continue;
 
-      core::AdaptiveTransport::Config ad_cfg;
-      ad_cfg.n_files = 512;
-      core::AdaptiveTransport adaptive(machine.filesystem, machine.network, ad_cfg);
+    core::MpiioTransport::Config mpi_cfg;
+    mpi_cfg.stripe_count = 160;
+    // ADIOS's tuned Lustre striping gives every rank a stripe-aligned
+    // region: one contiguous segment per writer.
+    mpi_cfg.stripe_size = model.bytes_per_process();
+    mpi_cfg.max_segments = 4;
+    core::MpiioTransport mpi(machine.filesystem, mpi_cfg);
 
-      const core::IoJob job = workload::pixie3d_job(model, procs);
-      stats::Summary mpi_bw;
-      stats::Summary ad_bw;
-      stats::Summary steals;
-      for (std::size_t s = 0; s < samples; ++s) {
-        mpi_bw.add(machine.run(mpi, job).bandwidth());
-        machine.advance(600.0);
-        const core::IoResult ar = machine.run(adaptive, job);
-        ad_bw.add(ar.bandwidth());
-        steals.add(static_cast<double>(ar.steals));
-        machine.advance(600.0);
-      }
-      const double gain = (ad_bw.mean() / mpi_bw.mean() - 1.0) * 100.0;
-      report.row()
-          .tag("model", model_tag)
-          .tag("condition", cond.name)
-          .value("procs", static_cast<double>(procs))
-          .value("seed", static_cast<double>(seed))
-          .value("gain_pct", gain)
-          .stat("mpiio_bw", mpi_bw)
-          .stat("adaptive_bw", ad_bw)
-          .stat("steals", steals);
-      table.add_row({cond.name, std::to_string(procs), stats::Table::bandwidth(mpi_bw.mean()),
-                     stats::Table::bandwidth(mpi_bw.max()),
-                     stats::Table::bandwidth(ad_bw.mean()),
-                     stats::Table::bandwidth(ad_bw.max()),
-                     (gain >= 0 ? "+" : "") + stats::Table::num(gain, 0) + "%",
-                     stats::Table::num(steals.mean(), 0)});
+    core::AdaptiveTransport::Config ad_cfg;
+    ad_cfg.n_files = 512;
+    core::AdaptiveTransport adaptive(machine.filesystem, machine.network, ad_cfg);
+
+    const core::IoJob job = workload::pixie3d_job(model, procs);
+    stats::Summary mpi_bw;
+    stats::Summary ad_bw;
+    stats::Summary steals;
+    for (std::size_t s = 0; s < samples; ++s) {
+      mpi_bw.add(machine.run(mpi, job).bandwidth());
+      machine.advance(600.0);
+      const core::IoResult ar = machine.run(adaptive, job);
+      ad_bw.add(ar.bandwidth());
+      steals.add(static_cast<double>(ar.steals));
+      machine.advance(600.0);
     }
+    const double gain = (ad_bw.mean() / mpi_bw.mean() - 1.0) * 100.0;
+    points.push_back({procs, gain, mpi_bw, ad_bw, steals});
   }
-  std::printf("%s\n%s\n", title, table.render().c_str());
+  return points;
 }
 
 }  // namespace
@@ -98,11 +91,55 @@ int main() {
   report.config("samples", static_cast<double>(samples))
       .config("max_procs", static_cast<double>(max_procs));
 
-  run_model("Fig 5(a): Pixie3D small data (2 MB/process)", "small",
-            workload::Pixie3dConfig::small_model(), samples, max_procs, 100, report);
-  run_model("Fig 5(b): Pixie3D large data (128 MB/process)", "large",
-            workload::Pixie3dConfig::large_model(), samples, max_procs, 200, report);
-  run_model("Fig 5(c): Pixie3D extra-large data (1 GB/process)", "xl",
-            workload::Pixie3dConfig::xl_model(), samples, max_procs, 300, report);
+  struct Model {
+    const char* title;
+    const char* tag;
+    workload::Pixie3dConfig config;
+    std::uint64_t seed;
+  };
+  const Model models[] = {
+      {"Fig 5(a): Pixie3D small data (2 MB/process)", "small",
+       workload::Pixie3dConfig::small_model(), 100},
+      {"Fig 5(b): Pixie3D large data (128 MB/process)", "large",
+       workload::Pixie3dConfig::large_model(), 200},
+      {"Fig 5(c): Pixie3D extra-large data (1 GB/process)", "xl",
+       workload::Pixie3dConfig::xl_model(), 300},
+  };
+
+  // 3 models x 2 conditions = 6 independent machines.
+  const auto results = bench::run_samples(6, [&](std::size_t i) {
+    const Model& m = models[i / 2];
+    const Condition& cond = kConditions[i % 2];
+    return run_condition(m.config, cond.interference, samples, max_procs, m.seed,
+                         static_cast<int>(i));
+  });
+
+  for (std::size_t mi = 0; mi < 3; ++mi) {
+    const Model& m = models[mi];
+    stats::Table table({"condition", "procs", "MPI-IO avg", "MPI-IO max", "Adaptive avg",
+                        "Adaptive max", "adaptive gain", "steals/run"});
+    for (std::size_t ci = 0; ci < 2; ++ci) {
+      const Condition& cond = kConditions[ci];
+      for (const ScalePoint& p : results[mi * 2 + ci]) {
+        report.row()
+            .tag("model", m.tag)
+            .tag("condition", cond.name)
+            .value("procs", static_cast<double>(p.procs))
+            .value("seed", static_cast<double>(m.seed))
+            .value("gain_pct", p.gain)
+            .stat("mpiio_bw", p.mpi_bw)
+            .stat("adaptive_bw", p.ad_bw)
+            .stat("steals", p.steals);
+        table.add_row({cond.name, std::to_string(p.procs),
+                       stats::Table::bandwidth(p.mpi_bw.mean()),
+                       stats::Table::bandwidth(p.mpi_bw.max()),
+                       stats::Table::bandwidth(p.ad_bw.mean()),
+                       stats::Table::bandwidth(p.ad_bw.max()),
+                       (p.gain >= 0 ? "+" : "") + stats::Table::num(p.gain, 0) + "%",
+                       stats::Table::num(p.steals.mean(), 0)});
+      }
+    }
+    std::printf("%s\n%s\n", m.title, table.render().c_str());
+  }
   return 0;
 }

@@ -6,7 +6,10 @@
 // taxed, adaptive IO reduces variability", dramatically so for the
 // extra-large model.  The threshold is "some small multiple of the storage
 // target count, e.g. 4" processes per target.
+#include <iterator>
+
 #include "harness.hpp"
+#include "parallel.hpp"
 #include "workload/pixie3d.hpp"
 #include "workload/xgc1.hpp"
 
@@ -31,6 +34,13 @@ core::IoJob xl_job(std::size_t procs) {
 }
 core::IoJob xgc_job(std::size_t procs) { return workload::xgc1_job({}, procs); }
 
+struct ScalePoint {
+  std::size_t procs;
+  double ratio;
+  stats::Summary mpi_t;
+  stats::Summary ad_t;
+};
+
 }  // namespace
 
 int main() {
@@ -50,10 +60,12 @@ int main() {
       {"Fig 7(d) XGC1 (38 MB)", xgc_job, 730},
   };
 
-  for (const Case& c : cases) {
-    stats::Table table({"procs", "procs/target", "MPI-IO mean (s)", "MPI-IO stddev (s)",
-                        "Adaptive mean (s)", "Adaptive stddev (s)", "stddev ratio"});
-    bench::Machine machine(fs::jaguar(), c.seed, /*with_load=*/true, /*min_ranks=*/max_procs);
+  // Each of the four cases is an independent machine, run concurrently.
+  const auto per_case = bench::run_samples(std::size(cases), [&](std::size_t i) {
+    const Case& c = cases[i];
+    bench::Machine machine(fs::jaguar(), c.seed, /*with_load=*/true, /*min_ranks=*/max_procs,
+                           /*obs_slot=*/static_cast<int>(i));
+    std::vector<ScalePoint> points;
     for (const std::size_t procs : {std::size_t{512}, std::size_t{2048}, std::size_t{8192},
                                     std::size_t{16384}}) {
       if (procs > max_procs) continue;
@@ -77,17 +89,27 @@ int main() {
         machine.advance(600.0);
       }
       const double ratio = ad_t.stddev() > 0.0 ? mpi_t.stddev() / ad_t.stddev() : 0.0;
+      points.push_back({procs, ratio, mpi_t, ad_t});
+    }
+    return points;
+  });
+
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const Case& c = cases[i];
+    stats::Table table({"procs", "procs/target", "MPI-IO mean (s)", "MPI-IO stddev (s)",
+                        "Adaptive mean (s)", "Adaptive stddev (s)", "stddev ratio"});
+    for (const ScalePoint& p : per_case[i]) {
       report.row()
           .tag("case", c.name)
-          .value("procs", static_cast<double>(procs))
-          .value("stddev_ratio", ratio)
-          .stat("mpiio_t", mpi_t)
-          .stat("adaptive_t", ad_t);
-      table.add_row({std::to_string(procs),
-                     stats::Table::num(static_cast<double>(procs) / 512.0, 1),
-                     stats::Table::num(mpi_t.mean(), 2), stats::Table::num(mpi_t.stddev(), 2),
-                     stats::Table::num(ad_t.mean(), 2), stats::Table::num(ad_t.stddev(), 2),
-                     stats::Table::num(ratio, 1) + "x"});
+          .value("procs", static_cast<double>(p.procs))
+          .value("stddev_ratio", p.ratio)
+          .stat("mpiio_t", p.mpi_t)
+          .stat("adaptive_t", p.ad_t);
+      table.add_row({std::to_string(p.procs),
+                     stats::Table::num(static_cast<double>(p.procs) / 512.0, 1),
+                     stats::Table::num(p.mpi_t.mean(), 2), stats::Table::num(p.mpi_t.stddev(), 2),
+                     stats::Table::num(p.ad_t.mean(), 2), stats::Table::num(p.ad_t.stddev(), 2),
+                     stats::Table::num(p.ratio, 1) + "x"});
     }
     std::printf("%s — std deviation of write time\n%s\n", c.name, table.render().c_str());
   }

@@ -7,6 +7,8 @@
 // export away:
 //
 //   AIO_BENCH_SAMPLES    overrides each bench's default sample count
+//   AIO_BENCH_THREADS    replication thread pool (bench/parallel.hpp);
+//                        default hardware_concurrency, 1 = serial
 //   AIO_BENCH_MAX_PROCS  caps the largest writer count (default 16384)
 //   AIO_BENCH_JSON       writes machine-readable results (bench/report.hpp)
 //   AIO_BENCH_MAX_STEPS  engine-step watchdog: abort (with diagnostics and
@@ -18,6 +20,7 @@
 //   AIO_OBS_OSTS         per-OST probe limit (default 32)
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -26,6 +29,7 @@
 #include <string>
 
 #include "core/transports/adaptive_transport.hpp"
+#include "env.hpp"
 #include "core/transports/layout.hpp"
 #include "core/transports/mpiio_transport.hpp"
 #include "core/transports/posix_transport.hpp"
@@ -44,22 +48,6 @@
 #include "stats/table.hpp"
 
 namespace aio::bench {
-
-inline std::size_t env_size(const char* name, std::size_t fallback) {
-  if (const char* v = std::getenv(name)) {
-    const long parsed = std::atol(v);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
-  }
-  return fallback;
-}
-
-inline double env_double(const char* name, double fallback) {
-  if (const char* v = std::getenv(name)) {
-    const double parsed = std::atof(v);
-    if (parsed > 0.0) return parsed;
-  }
-  return fallback;
-}
 
 inline std::size_t samples_or(std::size_t fallback) {
   return env_size("AIO_BENCH_SAMPLES", fallback);
@@ -91,16 +79,22 @@ struct Machine {
   std::optional<fs::BackgroundLoad> load;
   std::optional<fs::InterferenceJob> job;
 
+  /// `obs_slot` numbers this machine's trace/metrics output paths when
+  /// several machines coexist in one process: slot 0 writes `<path>`, slot k
+  /// writes `<path>.k+1`.  The default (-1) falls back to first-come
+  /// numbering — fine serially, nondeterministic under AIO_BENCH_THREADS>1,
+  /// so benches that run machines in parallel pass their unit index.
   Machine(fs::MachineSpec machine_spec, std::uint64_t seed, bool with_load,
-          std::size_t min_ranks = 0)
+          std::size_t min_ranks = 0, int obs_slot = -1)
       : spec(std::move(machine_spec)),
-        trace(obs::TraceSink::from_env()),
+        trace(obs::TraceSink::from_env(obs_slot)),
         metrics(metrics_from_env()),
         engine(trace.get(), metrics.get()),
         filesystem(engine, spec.fs),
         network(engine,
                 net::NetConfig{spec.msg_latency_s, spec.nic_bw, spec.cores_per_node},
                 std::max(min_ranks, spec.total_cores())) {
+    obs_slot_ = obs_slot;
     if (metrics) {
       const double period =
           env_double("AIO_OBS_PERIOD_S", 1.0);
@@ -130,12 +124,13 @@ struct Machine {
     if (!metrics) return;
     if (const char* path = std::getenv("AIO_METRICS"); path && *path) {
       // Number sibling machines' outputs the same way TraceSink::from_env
-      // numbers trace paths.
-      static int instances = 0;
+      // numbers trace paths: an explicit obs_slot is deterministic; the
+      // first-come fallback counter is atomic so concurrent machines never
+      // race it onto the same path.
       if (metrics_path_.empty()) {
-        ++instances;
-        metrics_path_ =
-            instances == 1 ? path : std::string(path) + "." + std::to_string(instances);
+        static std::atomic<int> instances{0};
+        const int ordinal = obs_slot_ >= 0 ? obs_slot_ + 1 : ++instances;
+        metrics_path_ = ordinal == 1 ? path : std::string(path) + "." + std::to_string(ordinal);
       }
       if (std::FILE* f = std::fopen(metrics_path_.c_str(), "w")) {
         const std::string doc = metrics->to_json().dump();
@@ -198,6 +193,7 @@ struct Machine {
   }
 
   std::string metrics_path_;
+  int obs_slot_ = -1;
 };
 
 inline void banner(const char* binary, const char* reproduces, const char* setup) {

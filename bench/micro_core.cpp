@@ -16,6 +16,7 @@
 #include "core/protocol/subcoordinator_fsm.hpp"
 #include "core/protocol/writer_fsm.hpp"
 #include "fs/ost.hpp"
+#include "parallel.hpp"
 #include "sim/engine.hpp"
 #include "sim/fluid.hpp"
 
@@ -61,7 +62,54 @@ void BM_FluidResourceChurn(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * streams);
 }
-BENCHMARK(BM_FluidResourceChurn)->Arg(32)->Arg(256);
+BENCHMARK(BM_FluidResourceChurn)
+    ->Arg(1)
+    ->Arg(32)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+
+void BM_FluidStartAbort(benchmark::State& state) {
+  const auto streams = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::FluidResource::StreamId> ids;
+  ids.reserve(streams);
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::FluidResource r(engine, {1e9, 0.0, 0.01});
+    ids.clear();
+    for (std::size_t i = 0; i < streams; ++i)
+      ids.push_back(r.start(1e6 * static_cast<double>(1 + i % 7), nullptr));
+    for (std::size_t i = 0; i < streams; i += 2) r.abort(ids[i]);
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * streams);
+}
+BENCHMARK(BM_FluidStartAbort)->Arg(256)->Arg(4096);
+
+// Harness replication fan-out: n independent fluid simulations through
+// bench::run_samples.  Thread counts beyond the container's core count
+// exercise the pool correctness rather than wall-clock scaling.
+void BM_HarnessRunSamples(benchmark::State& state) {
+  const auto units = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    auto out = bench::run_samples(
+        units,
+        [](std::size_t u) {
+          sim::Engine engine;
+          sim::FluidResource r(engine, {1e9, 0.0, 0.01});
+          for (std::size_t i = 0; i < 512; ++i)
+            r.start(1e6 * static_cast<double>(1 + (i + u) % 7), nullptr);
+          engine.run();
+          return engine.now();
+        },
+        threads);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * units);
+}
+BENCHMARK(BM_HarnessRunSamples)->Args({8, 1})->Args({8, 2})->Args({8, 4});
 
 void BM_OstConcurrentDurable(benchmark::State& state) {
   const auto writers = static_cast<std::size_t>(state.range(0));

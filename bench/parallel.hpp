@@ -1,0 +1,94 @@
+// Parallel replication for the bench binaries.
+//
+// Every bench is a set of *independent replications*: each unit of work
+// builds its own `bench::Machine` from its own seed, runs it, and returns a
+// result.  Units share nothing, so they can run on separate OS threads —
+// the simulations themselves stay single-threaded and deterministic.
+//
+// `run_samples(n, fn)` fans fn(0..n-1) across a pool sized by
+// `AIO_BENCH_THREADS` (default: hardware_concurrency; `1` restores the
+// serial loop exactly) and returns the results **in index order**.  Callers
+// keep all printing and report assembly on the calling thread, so stdout
+// tables and `aio-bench-v1` JSON are byte-identical whatever the thread
+// count.  For that to hold, `fn` must be a pure function of its index: own
+// machine, own seed, no stdout, no shared mutable state.
+//
+// Exceptions propagate: if any unit throws, the first failure *by index*
+// is rethrown on the calling thread after the pool drains.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "env.hpp"
+
+namespace aio::bench {
+
+/// Worker count for run_samples: `AIO_BENCH_THREADS`, defaulting to the
+/// hardware concurrency (at least 1).
+inline std::size_t bench_threads() {
+  return env_size("AIO_BENCH_THREADS",
+                  std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+}
+
+/// Runs fn(0), fn(1), ..., fn(n-1) on up to `threads` OS threads and returns
+/// the results in index order.  `threads <= 1` (or `n <= 1`) runs the plain
+/// serial loop on the calling thread — today's behaviour, no pool at all.
+template <class Fn>
+auto run_samples(std::size_t n, Fn&& fn, std::size_t threads)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  std::vector<Result> results;
+  results.reserve(n);
+
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) results.push_back(fn(i));
+    return results;
+  }
+
+  // Results land in index-addressed slots; optional<> spares Result a
+  // default constructor.  Slots are written by exactly one worker each and
+  // read only after join(), so no per-slot synchronization is needed.
+  std::vector<std::optional<Result>> slots(n);
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        slots[i].emplace(fn(i));
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const std::size_t workers = std::min(threads, n);
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  // Deterministic failure: rethrow the lowest-index error, the same one the
+  // serial loop would have hit first.
+  for (std::size_t i = 0; i < n; ++i)
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  for (std::size_t i = 0; i < n; ++i) results.push_back(std::move(*slots[i]));
+  return results;
+}
+
+/// Convenience overload: pool sized by `AIO_BENCH_THREADS`.
+template <class Fn>
+auto run_samples(std::size_t n, Fn&& fn) -> std::vector<decltype(fn(std::size_t{0}))> {
+  return run_samples(n, std::forward<Fn>(fn), bench_threads());
+}
+
+}  // namespace aio::bench

@@ -14,6 +14,7 @@
 
 #include "core/transports/posix_transport.hpp"
 #include "harness.hpp"
+#include "parallel.hpp"
 #include "workload/ior.hpp"
 
 namespace {
@@ -29,8 +30,8 @@ struct SeriesResult {
 
 SeriesResult hourly_series(const std::string& label, const fs::MachineSpec& spec,
                            std::size_t writers, std::size_t osts, std::size_t samples,
-                           std::uint64_t seed, bool twin_job) {
-  bench::Machine machine(spec, seed, /*with_load=*/true);
+                           std::uint64_t seed, bool twin_job, int obs_slot) {
+  bench::Machine machine(spec, seed, /*with_load=*/true, /*min_ranks=*/0, obs_slot);
   sim::Rng overlap_rng = sim::Rng(seed).fork(0x714F);
   SeriesResult out;
   out.machine = label;
@@ -99,28 +100,53 @@ int main() {
 
   bench::Report rep("table1_external_interference", 11);
   rep.config("samples", static_cast<double>(jaguar_samples));
-  std::vector<SeriesResult> series;
-  series.push_back(hourly_series("Jaguar", fs::jaguar(), 512, 512, jaguar_samples, 11, false));
-  series.push_back(
-      hourly_series("Franklin", fs::franklin(), 80, 96, franklin_samples, 13, false));
-  series.push_back(hourly_series("XTP (with Int.)", fs::xtp(), 512, 40, xtp_samples, 17, true));
-  series.push_back(
-      hourly_series("XTP (without Int.)", fs::xtp(), 512, 40, xtp_samples, 19, false));
-  report(series, rep);
 
-  // The paper's summary observation across all external-interference tests.
-  stats::Summary imbalance;
-  {
-    bench::Machine machine(fs::jaguar(), 23, true);
-    for (int i = 0; i < 40; ++i) {
-      workload::IorConfig cfg;
-      cfg.writers = 512;
-      cfg.bytes_per_writer = 128.0 * kMiB;
-      cfg.osts_to_use = 512;
-      imbalance.add(workload::run_ior_once(machine.filesystem, cfg).imbalance);
-      machine.advance(3600.0);
+  // Five independent replications — four hourly series plus the paper's
+  // imbalance-factor study — each on its own machine, fanned out by
+  // bench/parallel.hpp and reassembled in fixed order below.
+  struct Unit {
+    SeriesResult series;        // units 0-3
+    stats::Summary imbalance;   // unit 4
+  };
+  const auto run_unit = [&](std::size_t i) -> Unit {
+    switch (i) {
+      case 0:
+        return {hourly_series("Jaguar", fs::jaguar(), 512, 512, jaguar_samples, 11, false, 0),
+                {}};
+      case 1:
+        return {
+            hourly_series("Franklin", fs::franklin(), 80, 96, franklin_samples, 13, false, 1),
+            {}};
+      case 2:
+        return {hourly_series("XTP (with Int.)", fs::xtp(), 512, 40, xtp_samples, 17, true, 2),
+                {}};
+      case 3:
+        return {
+            hourly_series("XTP (without Int.)", fs::xtp(), 512, 40, xtp_samples, 19, false, 3),
+            {}};
+      default: {
+        // The paper's summary observation across all external-interference
+        // tests.
+        stats::Summary imbalance;
+        bench::Machine machine(fs::jaguar(), 23, true, /*min_ranks=*/0, /*obs_slot=*/4);
+        for (int s = 0; s < 40; ++s) {
+          workload::IorConfig cfg;
+          cfg.writers = 512;
+          cfg.bytes_per_writer = 128.0 * kMiB;
+          cfg.osts_to_use = 512;
+          imbalance.add(workload::run_ior_once(machine.filesystem, cfg).imbalance);
+          machine.advance(3600.0);
+        }
+        return {{}, imbalance};
+      }
     }
-  }
+  };
+  const auto units = bench::run_samples(5, run_unit);
+
+  std::vector<SeriesResult> series;
+  for (std::size_t i = 0; i < 4; ++i) series.push_back(units[i].series);
+  report(series, rep);
+  const stats::Summary& imbalance = units[4].imbalance;
   rep.row().tag("machine", "Jaguar").tag("metric", "imbalance_factor").stat("imbalance", imbalance);
   std::printf("Overall average imbalance factor (paper: ~3.9): %.2f\n", imbalance.mean());
   return 0;

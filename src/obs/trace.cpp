@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -34,15 +35,18 @@ TraceSink::TraceSink(Config config) : config_(std::move(config)) {
   name_process(kPidRuntime, "thread runtime");
 }
 
-std::unique_ptr<TraceSink> TraceSink::from_env() {
+std::unique_ptr<TraceSink> TraceSink::from_env(int slot) {
   const char* path = std::getenv("AIO_TRACE");
   if (!path || !*path) return nullptr;
   Config cfg;
   // One trace file per sink within a process: <path>, <path>.2, <path>.3...
-  static int instances = 0;
-  ++instances;
-  cfg.path = instances == 1 ? std::string(path)
-                            : std::string(path) + "." + std::to_string(instances);
+  // Callers that know their machine's index pass it as `slot` for a
+  // deterministic path; the fallback counter is atomic so concurrent sinks
+  // at least never collide on one file.
+  static std::atomic<int> instances{0};
+  const int ordinal = slot >= 0 ? slot + 1 : ++instances;
+  cfg.path =
+      ordinal == 1 ? std::string(path) : std::string(path) + "." + std::to_string(ordinal);
   if (const char* cats = std::getenv("AIO_TRACE_CATS")) {
     if (std::strcmp(cats, "all") == 0 || std::strcmp(cats, "engine") == 0) {
       cfg.categories = kCatAll;

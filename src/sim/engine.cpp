@@ -7,65 +7,123 @@
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "sim/dary_heap.hpp"
 
 namespace aio::sim {
 
-namespace {
 // Debug aid: AIO_ENGINE_TRACE=1 prints a heartbeat every 2^20 events so
-// runaway same-timestamp event storms are visible.
-bool trace_enabled() {
+// runaway same-timestamp event storms are visible.  Read once per engine so
+// the dispatch loop tests a plain member instead of a guarded static.
+bool Engine::heartbeat_enabled() {
   static const bool enabled = std::getenv("AIO_ENGINE_TRACE") != nullptr;
   return enabled;
 }
-}  // namespace
 
 EventHandle Engine::schedule(Time t, Callback cb, bool daemon) {
   if (t < now_) throw std::invalid_argument("Engine::schedule: time in the past");
-  // Even serials are normal events, odd serials are daemons; this keeps the
-  // daemon test O(1) without a side table.
-  const std::uint64_t id = (next_serial_++ << 1) | (daemon ? 1u : 0u);
+  std::uint32_t idx;
+  if (free_slots_.empty()) {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& s = slot(idx);
+  s.cb = std::move(cb);
+  s.daemon = daemon;
   if (!daemon) ++normal_pending_;
-  live_.insert(id);
-  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
-  return EventHandle{id};
+  ++live_;
+  dheap_push(heap_, Node{t, next_seq_++, idx}, before);
+  return EventHandle{handle_id(idx, s.gen)};
+}
+
+void Engine::release(std::uint32_t idx) {
+  Slot& s = slot(idx);
+  s.cb = Callback{};
+  ++s.gen;  // any outstanding handle for this slot is now stale
+  if (!s.daemon) {
+    assert(normal_pending_ > 0);
+    --normal_pending_;
+  }
+  assert(live_ > 0);
+  --live_;
+  free_slots_.push_back(idx);
+}
+
+void Engine::reclaim(std::uint32_t idx) {
+  slot(idx).dead = false;
+  free_slots_.push_back(idx);
 }
 
 bool Engine::cancel(EventHandle h) {
   if (!h.valid()) return false;
-  if (live_.erase(h.id_) == 0) return false;  // already fired or cancelled
-  if (!is_daemon(h.id_)) {
+  const auto idx = static_cast<std::uint32_t>((h.id_ >> 32) - 1);
+  const auto gen = static_cast<std::uint32_t>(h.id_);
+  if (idx >= slots_.size() || slot(idx).gen != gen) return false;  // fired or cancelled
+  Slot& s = slot(idx);
+  s.cb = Callback{};
+  ++s.gen;       // invalidate outstanding handles
+  s.dead = true; // the heap node is now debris; the slot waits for it to pop
+  if (!s.daemon) {
     assert(normal_pending_ > 0);
     --normal_pending_;
   }
+  assert(live_ > 0);
+  --live_;
+  // The node stays in the heap (lazy deletion); once debris dominates,
+  // one O(n) compaction keeps pops from wading through it.
+  if (++dead_in_heap_ > 64 && dead_in_heap_ * 2 > heap_.size()) compact();
   return true;
 }
 
+void Engine::compact() {
+  std::size_t kept = 0;
+  for (const Node& n : heap_) {
+    if (node_live(n))
+      heap_[kept++] = n;
+    else
+      reclaim(n.slot);
+  }
+  heap_.resize(kept);
+  dheap_make(heap_, before);
+  dead_in_heap_ = 0;
+}
+
 bool Engine::pop_one() {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; move out via const_cast, which is safe
-    // because we pop immediately afterwards.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (live_.erase(ev.id) == 0) continue;  // cancelled: lazy deletion
-    assert(ev.time >= now_);
-    now_ = ev.time;
+  while (!heap_.empty()) {
+#if defined(__GNUC__) || defined(__clang__)
+    // The root's slot is touched right after the O(log n) sift-down; start
+    // pulling its line now so the fetch overlaps the heap work.
+    __builtin_prefetch(&slot(heap_.front().slot));
+#endif
+    const Node n = dheap_pop(heap_, before);
+    if (!node_live(n)) {  // cancelled: lazy deletion
+      reclaim(n.slot);
+      --dead_in_heap_;
+      continue;
+    }
+    assert(n.time >= now_);
+    now_ = n.time;
     ++steps_;
-    if (trace_enabled() && (steps_ & ((1u << 20) - 1)) == 0) {
+    if (heartbeat_ && (steps_ & ((1u << 20) - 1)) == 0) {
       std::fprintf(stderr, "[engine] steps=%zu t=%.9f pending=%zu\n", steps_, now_, pending());
     }
-    if (!is_daemon(ev.id)) {
-      assert(normal_pending_ > 0);
-      --normal_pending_;
-    }
+    Slot& s = slot(n.slot);
+    const bool daemon = s.daemon;
+    // Move the callback out before releasing: the callback may schedule new
+    // events, reusing (or growing past) this very slot.
+    Callback cb = std::move(s.cb);
+    release(n.slot);
     // Per-dispatch tracing is opt-in (Cat::Engine is off by default): one
     // instant per event multiplies trace volume by the total step count.
     if (trace_ && trace_->wants(obs::kCatEngine)) {
-      trace_->instant(obs::kCatEngine, obs::kPidEngine, is_daemon(ev.id) ? 2 : 1, now_,
+      trace_->instant(obs::kCatEngine, obs::kPidEngine, daemon ? 2 : 1, now_,
                       "dispatch",
                       {{"step", obs::Json(static_cast<double>(steps_))},
                        {"pending", obs::Json(static_cast<double>(pending()))}});
     }
-    ev.cb();
+    cb();
     return true;
   }
   return false;
@@ -85,13 +143,14 @@ std::size_t Engine::run(std::size_t max_steps) {
 
 std::size_t Engine::run_until(Time t) {
   std::size_t n = 0;
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip cancelled heads so their timestamps don't gate progress.
-    if (!live_.contains(queue_.top().id)) {
-      queue_.pop();
+    if (!node_live(heap_.front())) {
+      reclaim(dheap_pop(heap_, before).slot);
+      --dead_in_heap_;
       continue;
     }
-    if (queue_.top().time > t) break;
+    if (heap_.front().time > t) break;
     if (pop_one()) ++n;
   }
   if (t > now_) now_ = t;

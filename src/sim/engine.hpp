@@ -3,8 +3,17 @@
 // The engine owns a time-ordered queue of one-shot events.  Events scheduled
 // for the same instant fire in scheduling order, which makes every simulation
 // built on top of the engine fully deterministic for a fixed seed.  Events
-// can be cancelled through the handle returned at scheduling time; the queue
-// uses lazy deletion so cancellation is O(1).
+// can be cancelled through the handle returned at scheduling time.
+//
+// Hot-path layout: the queue is a hand-rolled 4-ary min-heap over 16-byte
+// POD nodes (all four children of a node share one cache line); callbacks
+// live out-of-band in a generation-tagged slot table (`Slot`), so
+// cancellation is an O(1) flag set — no hashing, no heap surgery — and a
+// cancelled node is skipped (and its slot reclaimed) when it surfaces.  The
+// callback type is `InplaceFunction` (48-byte small-buffer optimization), so
+// the common lambda captures (a this-pointer plus a couple of ids) never
+// touch the allocator.  When more than half the heap is cancelled debris the
+// heap is compacted in one O(n) pass.
 //
 // Events come in two kinds: *normal* events represent work the simulation is
 // waiting for; *daemon* events represent perpetual background processes
@@ -14,10 +23,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
+
+#include "sim/inplace_function.hpp"
 
 namespace aio::obs {
 class TraceSink;
@@ -44,7 +52,7 @@ class EventHandle {
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceFunction<void()>;
 
   /// An engine optionally carries observability hooks: a trace sink and a
   /// metrics registry, both null by default.  Everything built on top of the
@@ -66,7 +74,7 @@ class Engine {
   [[nodiscard]] std::size_t steps() const { return steps_; }
 
   /// Number of events scheduled and not yet fired or cancelled.
-  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_; }
 
   /// Number of pending non-daemon events.
   [[nodiscard]] std::size_t pending_normal() const { return normal_pending_; }
@@ -106,31 +114,59 @@ class Engine {
   std::size_t run_until(Time t);
 
  private:
-  struct Event {
+  // A heap node carries everything the ordering needs; the callback stays in
+  // the slot table so heap moves shuffle 16 POD bytes, not a closure.  The
+  // node has no generation tag: a cancelled event's slot is not reused until
+  // its node leaves the heap (pop or compaction), so the slot's `dead` flag
+  // identifies debris unambiguously.
+  struct Node {
     Time time;
-    std::uint64_t seq;  // tie-break: FIFO among same-time events
-    std::uint64_t id;   // odd ids are daemon events
-    Callback cb;
+    std::uint32_t seq;  // tie-break: FIFO among same-time events (wrapping)
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  // Cache-line aligned: callback buffer, ops pointer, and generation all
+  // land on the single line the dispatch loop prefetches.
+  struct alignas(64) Slot {
+    Callback cb;
+    std::uint32_t gen = 1;  // bumped on fire/cancel, invalidating old handles
+    bool daemon = false;
+    bool dead = false;  // cancelled; node still in the heap
   };
 
-  static bool is_daemon(std::uint64_t id) { return (id & 1u) != 0; }
+  static bool before(const Node& a, const Node& b) {
+    if (a.time != b.time) return a.time < b.time;
+    // Wrap-safe circular compare: FIFO is exact as long as two same-time
+    // events never straddle 2^31 intervening schedules, far beyond any run
+    // here (the bench watchdog trips orders of magnitude earlier).
+    return static_cast<std::int32_t>(a.seq - b.seq) < 0;
+  }
+  static std::uint64_t handle_id(std::uint32_t slot, std::uint32_t gen) {
+    // slot+1 in the high half keeps every issued id nonzero.
+    return (static_cast<std::uint64_t>(slot) + 1) << 32 | gen;
+  }
+
+  [[nodiscard]] Slot& slot(std::uint32_t i) { return slots_[i]; }
+  [[nodiscard]] const Slot& slot(std::uint32_t i) const { return slots_[i]; }
+
+  [[nodiscard]] bool node_live(const Node& n) const { return !slot(n.slot).dead; }
 
   EventHandle schedule(Time t, Callback cb, bool daemon);
+  void release(std::uint32_t slot);  // frees a fired slot, maintaining counters
+  void reclaim(std::uint32_t slot);  // returns a cancelled slot once its node left the heap
+  void compact();                    // drops cancelled nodes, re-heapifies
   bool pop_one();  // fires the next non-cancelled event; false if queue empty
+  static bool heartbeat_enabled();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> live_;  // scheduled, not yet fired/cancelled
+  std::vector<Node> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t dead_in_heap_ = 0;  // cancelled nodes not yet popped
+  std::size_t live_ = 0;
   Time now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t next_serial_ = 1;
+  std::uint32_t next_seq_ = 0;
   std::size_t steps_ = 0;
   std::size_t normal_pending_ = 0;
+  bool heartbeat_ = heartbeat_enabled();
   obs::TraceSink* trace_ = nullptr;
   obs::Registry* metrics_ = nullptr;
 };

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/dary_heap.hpp"
+
 namespace aio::sim {
 
 namespace {
@@ -16,7 +18,9 @@ constexpr double kEpsilonBytes = 1e-6;
 // Time tolerance: residual work that would take less than this long at the
 // current rate counts as done.  Without it, a residue that drains in less
 // than one ulp of simulated time (e.g. 1e-6 B at 10 GB/s near t=2.5) would
-// reschedule a zero-advance event forever.
+// reschedule a zero-advance event forever.  The rate-scaled term also covers
+// the ulp growth of the virtual-work clock itself: the clock's absolute error
+// stays within a few ulps of rate * busy-period, which this term dominates.
 constexpr double kEpsilonSeconds = 1e-9;
 }  // namespace
 
@@ -44,11 +48,17 @@ double FluidResource::total_rate() const {
   return stream_rate() * static_cast<double>(streams_.size());
 }
 
+double FluidResource::done_threshold() const {
+  return kEpsilonBytes + stream_rate() * kEpsilonSeconds;
+}
+
 FluidResource::StreamId FluidResource::start(double bytes, OnComplete on_complete) {
   if (bytes < 0.0) throw std::invalid_argument("FluidResource::start: negative bytes");
   advance();
   const StreamId id = next_id_++;
-  streams_.emplace(id, Stream{bytes, std::move(on_complete)});
+  const double v_finish = vwork_ + bytes;
+  streams_.emplace(id, Stream{v_finish, std::move(on_complete)});
+  dheap_push(heap_, HeapEntry{v_finish, id}, heap_before);
   reschedule();
   return id;
 }
@@ -56,6 +66,9 @@ FluidResource::StreamId FluidResource::start(double bytes, OnComplete on_complet
 bool FluidResource::abort(StreamId id) {
   advance();
   const bool erased = streams_.erase(id) > 0;
+  // The heap entry stays behind (lazy deletion): stream ids are never
+  // reused, so an entry whose id is absent from the map is skipped when it
+  // surfaces, and all debris is dropped at the next idle rebase.
   if (erased) reschedule();
   return erased;
 }
@@ -70,9 +83,13 @@ void FluidResource::set_capacity_factor(double factor) {
 double FluidResource::remaining(StreamId id) const {
   const auto it = streams_.find(id);
   if (it == streams_.end()) return 0.0;
-  // Account for drainage since the last state change without mutating.
-  const double drained = stream_rate() * (engine_.now() - last_update_);
-  return std::max(0.0, it->second.remaining - drained);
+  // Account for virtual work accrued since the last state change without
+  // mutating, then apply the same completion tolerance fire() uses: a stream
+  // the scheduler would complete "now" reports zero, not a sub-epsilon crumb.
+  const double v_now = vwork_ + stream_rate() * (engine_.now() - last_update_);
+  const double rem = it->second.v_finish - v_now;
+  if (rem <= done_threshold()) return 0.0;
+  return rem;
 }
 
 void FluidResource::advance() {
@@ -80,8 +97,18 @@ void FluidResource::advance() {
   const double dt = now - last_update_;
   last_update_ = now;
   if (dt <= 0.0 || streams_.empty()) return;
-  const double drained = stream_rate() * dt;
-  for (auto& [id, s] : streams_) s.remaining = std::max(0.0, s.remaining - drained);
+  // The whole point of the virtual clock: every active stream shares one
+  // instantaneous rate, so one multiply-add moves all of them at once.
+  vwork_ += stream_rate() * dt;
+}
+
+double FluidResource::min_v_finish() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (streams_.count(top.id) != 0) return top.v_finish;
+    dheap_pop(heap_, heap_before);  // aborted stream: lazy deletion
+  }
+  return std::numeric_limits<double>::infinity();
 }
 
 void FluidResource::reschedule() {
@@ -89,12 +116,18 @@ void FluidResource::reschedule() {
     engine_.cancel(pending_);
     pending_ = EventHandle{};
   }
-  if (streams_.empty()) return;
+  if (streams_.empty()) {
+    // Idle rebase: with no streams the virtual clock is unobservable, so
+    // reset it to zero and drop any aborted debris still in the heap.  This
+    // bounds the clock's magnitude — and hence its floating-point error —
+    // by the longest busy period, not the whole run.
+    vwork_ = 0.0;
+    heap_.clear();
+    return;
+  }
 
-  double min_remaining = std::numeric_limits<double>::infinity();
-  for (const auto& [id, s] : streams_) min_remaining = std::min(min_remaining, s.remaining);
-
-  if (min_remaining <= kEpsilonBytes + stream_rate() * kEpsilonSeconds) {
+  const double min_remaining = min_v_finish() - vwork_;
+  if (min_remaining <= done_threshold()) {
     pending_ = engine_.schedule_after(0.0, [this] { fire(); });
     return;
   }
@@ -107,16 +140,21 @@ void FluidResource::fire() {
   pending_ = EventHandle{};
   advance();
   // Collect completions first: callbacks may start new streams on this
-  // resource, and must observe a consistent stream set.
-  const double threshold = kEpsilonBytes + stream_rate() * kEpsilonSeconds;
+  // resource, and must observe a consistent stream set.  Completions pop
+  // off the heap in (finish work, start order) — exact ties complete FIFO.
+  const double threshold = done_threshold();
   std::vector<OnComplete> done;
-  for (auto it = streams_.begin(); it != streams_.end();) {
-    if (it->second.remaining <= threshold) {
-      done.push_back(std::move(it->second.on_complete));
-      it = streams_.erase(it);
-    } else {
-      ++it;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    const auto it = streams_.find(top.id);
+    if (it == streams_.end()) {  // aborted stream: lazy deletion
+      dheap_pop(heap_, heap_before);
+      continue;
     }
+    if (top.v_finish - vwork_ > threshold) break;
+    dheap_pop(heap_, heap_before);
+    done.push_back(std::move(it->second.on_complete));
+    streams_.erase(it);
   }
   assert(!done.empty());
   reschedule();

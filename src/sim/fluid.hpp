@@ -10,16 +10,26 @@
 // throughput loss caused by interleaving many concurrent streams (disk seeks,
 // lock contention) — with alpha = 0 the resource is work-conserving.
 //
-// Between state changes the streams drain linearly, so the model only needs
-// one pending engine event (the earliest completion), which is cancelled and
-// recomputed whenever the stream set or the capacity factor changes.
+// Internally the model runs on a *virtual-work clock*: because equal sharing
+// gives every active stream the same instantaneous rate, the cumulative
+// per-stream work V(t) = ∫ stream_rate dt is shared by all streams, and a
+// stream started at virtual work V₀ with w bytes completes exactly when
+// V reaches V₀ + w.  Advancing the model is therefore one multiply-add
+// (O(1) regardless of stream count), remaining work is one subtraction, and
+// the next completion is the top of a min-heap keyed by finish virtual work.
+// start/abort are O(log n), set_capacity_factor is O(1) plus the engine
+// reschedule — versus O(n) for all of these in a per-stream linear drain
+// (the old model survives as tests/fluid_reference.{hpp,cpp} and a property
+// sweep cross-validates the two).  The model still needs only one pending
+// engine event (the earliest completion), re-armed on every state change.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/inplace_function.hpp"
 
 namespace aio::sim {
 
@@ -33,7 +43,7 @@ class FluidResource {
 
   using StreamId = std::uint64_t;
   /// Completion callback; receives the finish time.
-  using OnComplete = std::function<void(Time)>;
+  using OnComplete = InplaceFunction<void(Time)>;
 
   FluidResource(Engine& engine, Config config);
   ~FluidResource();
@@ -55,6 +65,8 @@ class FluidResource {
   [[nodiscard]] double capacity_factor() const { return factor_; }
 
   [[nodiscard]] std::size_t active_streams() const { return streams_.size(); }
+  /// Remaining work; 0 for unknown streams and for streams already within
+  /// the completion tolerance (the same epsilon the scheduler uses).
   [[nodiscard]] double remaining(StreamId id) const;
   /// Current aggregate service rate (bytes/sec across all streams).
   [[nodiscard]] double total_rate() const;
@@ -68,20 +80,33 @@ class FluidResource {
 
  private:
   struct Stream {
-    double remaining;
+    double v_finish;  ///< virtual-work coordinate at which the stream is done
     OnComplete on_complete;
   };
+  // Completion order: earliest finish first, FIFO among exact ties.
+  struct HeapEntry {
+    double v_finish;
+    StreamId id;
+  };
+  static bool heap_before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.v_finish != b.v_finish) return a.v_finish < b.v_finish;
+    return a.id < b.id;
+  }
 
-  void advance();     ///< drains all streams from last_update_ to now
-  void reschedule();  ///< re-arms the next-completion event
-  void fire();        ///< completes every stream that has drained
+  [[nodiscard]] double done_threshold() const;  ///< shared by fire()/remaining()
+  void advance();      ///< moves the virtual clock from last_update_ to now
+  void reschedule();   ///< re-arms the next-completion event
+  void fire();         ///< completes every stream whose finish work is reached
+  double min_v_finish();  ///< earliest live finish; +inf if none (pops stale)
 
   Engine& engine_;
   Config config_;
   double factor_ = 1.0;
   std::unordered_map<StreamId, Stream> streams_;
+  std::vector<HeapEntry> heap_;  // aborted streams removed lazily
   StreamId next_id_ = 1;
   Time last_update_ = 0.0;
+  double vwork_ = 0.0;  ///< cumulative per-stream work; rebased to 0 at idle
   EventHandle pending_;
 };
 

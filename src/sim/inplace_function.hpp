@@ -1,0 +1,119 @@
+// Small-buffer-optimized move-only callable, the engine's event callback.
+//
+// The discrete-event hot path schedules millions of short-lived lambdas whose
+// captures are a this-pointer plus a couple of ids.  std::function heap
+// allocates once captures outgrow its (implementation-defined, typically 16
+// byte) inline buffer and drags along copy machinery the engine never uses.
+// InplaceFunction stores any callable up to `Capacity` bytes inline — 48
+// bytes covers every capture list in this codebase — and falls back to the
+// heap above that, so correctness never depends on the capture size.
+//
+// Differences from std::function, all deliberate:
+//   * move-only: events fire once, so callbacks are moved, never copied;
+//   * no target()/target_type(): nothing introspects callbacks;
+//   * invoking an empty InplaceFunction is undefined (the engine never
+//     stores an empty callback in a live event).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aio::sim {
+
+template <class Signature, std::size_t Capacity = 48>
+class InplaceFunction;
+
+template <class R, class... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT: implicit like std::function
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InplaceFunction> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT: implicit like std::function
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::value;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapOps<D>::value;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_) ops_->relocate(other.buf_, buf_);
+    other.ops_ = nullptr;
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      if (ops_) ops_->destroy(buf_);
+      ops_ = other.ops_;
+      if (ops_) ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() {
+    if (ops_) ops_->destroy(buf_);
+  }
+
+  R operator()(Args... args) { return ops_->invoke(buf_, std::forward<Args>(args)...); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  template <class D>
+  static constexpr bool fits_inline = sizeof(D) <= Capacity &&
+                                      alignof(D) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<D>;
+
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    // Move-constructs `dst` from `src` and destroys `src` (for the inline
+    // case; the heap case just moves the owning pointer across).
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <class D>
+  struct InlineOps {
+    static D* get(void* p) { return std::launder(reinterpret_cast<D*>(p)); }
+    static R invoke(void* p, Args&&... args) {
+      return (*get(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) D(std::move(*get(src)));
+      get(src)->~D();
+    }
+    static void destroy(void* p) noexcept { get(p)->~D(); }
+    static constexpr Ops value{&invoke, &relocate, &destroy};
+  };
+
+  template <class D>
+  struct HeapOps {
+    static D** get(void* p) { return std::launder(reinterpret_cast<D**>(p)); }
+    static R invoke(void* p, Args&&... args) {
+      return (**get(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) D*(*get(src));
+    }
+    static void destroy(void* p) noexcept { delete *get(p); }
+    static constexpr Ops value{&invoke, &relocate, &destroy};
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace aio::sim

@@ -1,0 +1,128 @@
+#include "fluid_reference.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace aio::sim::testing {
+
+namespace {
+// Completion tolerance: streams within this many bytes of done are finished.
+// Guards against floating-point drift ever stalling a completion event.
+constexpr double kEpsilonBytes = 1e-6;
+// Time tolerance: residual work that would take less than this long at the
+// current rate counts as done.  Without it, a residue that drains in less
+// than one ulp of simulated time (e.g. 1e-6 B at 10 GB/s near t=2.5) would
+// reschedule a zero-advance event forever.
+constexpr double kEpsilonSeconds = 1e-9;
+}  // namespace
+
+FluidReference::FluidReference(Engine& engine, Config config)
+    : engine_(engine), config_(config), last_update_(engine.now()) {
+  if (config_.capacity <= 0.0) throw std::invalid_argument("FluidReference: capacity must be > 0");
+  if (config_.per_stream_cap < 0.0 || config_.alpha < 0.0)
+    throw std::invalid_argument("FluidReference: negative parameter");
+}
+
+FluidReference::~FluidReference() {
+  if (pending_.valid()) engine_.cancel(pending_);
+}
+
+double FluidReference::stream_rate() const {
+  const std::size_t n = streams_.size();
+  if (n == 0) return 0.0;
+  const double usable = config_.capacity * factor_ * efficiency(config_.alpha, n);
+  double rate = usable / static_cast<double>(n);
+  if (config_.per_stream_cap > 0.0) rate = std::min(rate, config_.per_stream_cap);
+  return rate;
+}
+
+double FluidReference::total_rate() const {
+  return stream_rate() * static_cast<double>(streams_.size());
+}
+
+FluidReference::StreamId FluidReference::start(double bytes, OnComplete on_complete) {
+  if (bytes < 0.0) throw std::invalid_argument("FluidReference::start: negative bytes");
+  advance();
+  const StreamId id = next_id_++;
+  streams_.emplace(id, Stream{bytes, std::move(on_complete)});
+  reschedule();
+  return id;
+}
+
+bool FluidReference::abort(StreamId id) {
+  advance();
+  const bool erased = streams_.erase(id) > 0;
+  if (erased) reschedule();
+  return erased;
+}
+
+void FluidReference::set_capacity_factor(double factor) {
+  if (factor < 0.0) throw std::invalid_argument("FluidReference: negative capacity factor");
+  advance();
+  factor_ = factor;
+  reschedule();
+}
+
+double FluidReference::remaining(StreamId id) const {
+  const auto it = streams_.find(id);
+  if (it == streams_.end()) return 0.0;
+  // Account for drainage since the last state change without mutating.
+  const double drained = stream_rate() * (engine_.now() - last_update_);
+  return std::max(0.0, it->second.remaining - drained);
+}
+
+void FluidReference::advance() {
+  const Time now = engine_.now();
+  const double dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0.0 || streams_.empty()) return;
+  const double drained = stream_rate() * dt;
+  for (auto& [id, s] : streams_) s.remaining = std::max(0.0, s.remaining - drained);
+}
+
+void FluidReference::reschedule() {
+  if (pending_.valid()) {
+    engine_.cancel(pending_);
+    pending_ = EventHandle{};
+  }
+  if (streams_.empty()) return;
+
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, s] : streams_) min_remaining = std::min(min_remaining, s.remaining);
+
+  if (min_remaining <= kEpsilonBytes + stream_rate() * kEpsilonSeconds) {
+    pending_ = engine_.schedule_after(0.0, [this] { fire(); });
+    return;
+  }
+  const double rate = stream_rate();
+  if (rate <= 0.0) return;  // frozen; re-armed on the next state change
+  pending_ = engine_.schedule_after(min_remaining / rate, [this] { fire(); });
+}
+
+void FluidReference::fire() {
+  pending_ = EventHandle{};
+  advance();
+  // Collect completions first: callbacks may start new streams on this
+  // resource, and must observe a consistent stream set.
+  const double threshold = kEpsilonBytes + stream_rate() * kEpsilonSeconds;
+  std::vector<OnComplete> done;
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->second.remaining <= threshold) {
+      done.push_back(std::move(it->second.on_complete));
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  assert(!done.empty());
+  reschedule();
+  const Time now = engine_.now();
+  for (auto& cb : done)
+    if (cb) cb(now);
+}
+
+}  // namespace aio::sim::testing

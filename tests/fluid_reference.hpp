@@ -1,0 +1,72 @@
+// The pre-virtual-time fluid model, kept verbatim (modulo renames) as a
+// differential-testing oracle for sim::FluidResource.
+//
+// This is the original linear-drain implementation: `advance()` subtracts
+// the drained bytes from every stream (O(n) per state change) and
+// `reschedule()` min-scans all remaining work.  It is slow but obviously
+// correct, which is exactly what the property sweep in test_fluid.cpp wants
+// to cross-validate the O(1)-advance production model against.  Do not
+// "optimize" this file; its value is that it stays dumb.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/engine.hpp"
+
+namespace aio::sim::testing {
+
+class FluidReference {
+ public:
+  struct Config {
+    double capacity = 1.0;        ///< bytes/sec at factor 1, single stream
+    double per_stream_cap = 0.0;  ///< max bytes/sec per stream; 0 = unlimited
+    double alpha = 0.0;           ///< concurrency efficiency loss coefficient
+  };
+
+  using StreamId = std::uint64_t;
+  /// Completion callback; receives the finish time.
+  using OnComplete = std::function<void(Time)>;
+
+  FluidReference(Engine& engine, Config config);
+  ~FluidReference();
+
+  FluidReference(const FluidReference&) = delete;
+  FluidReference& operator=(const FluidReference&) = delete;
+
+  StreamId start(double bytes, OnComplete on_complete);
+  bool abort(StreamId id);
+  void set_capacity_factor(double factor);
+  [[nodiscard]] double capacity_factor() const { return factor_; }
+
+  [[nodiscard]] std::size_t active_streams() const { return streams_.size(); }
+  [[nodiscard]] double remaining(StreamId id) const;
+  [[nodiscard]] double total_rate() const;
+  [[nodiscard]] double stream_rate() const;
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  [[nodiscard]] static double efficiency(double alpha, std::size_t n) {
+    return n <= 1 ? 1.0 : 1.0 / (1.0 + alpha * (static_cast<double>(n) - 1.0));
+  }
+
+ private:
+  struct Stream {
+    double remaining;
+    OnComplete on_complete;
+  };
+
+  void advance();     ///< drains all streams from last_update_ to now
+  void reschedule();  ///< re-arms the next-completion event
+  void fire();        ///< completes every stream that has drained
+
+  Engine& engine_;
+  Config config_;
+  double factor_ = 1.0;
+  std::unordered_map<StreamId, Stream> streams_;
+  StreamId next_id_ = 1;
+  Time last_update_ = 0.0;
+  EventHandle pending_;
+};
+
+}  // namespace aio::sim::testing

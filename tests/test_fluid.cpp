@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 #include <vector>
 
+#include "fluid_reference.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -219,5 +221,133 @@ TEST_P(FluidConservation, WorkConservingUnderAnyMix) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Counts, FluidConservation, ::testing::Values(1, 2, 3, 5, 8, 16, 64));
+
+// ---------------------------------------------------------------------------
+// Differential sweep: the virtual-time production model must agree with the
+// retired linear-drain implementation (tests/fluid_reference.{hpp,cpp}) on
+// randomized schedules of start / abort / set_capacity_factor.  The oracle
+// is O(n) per state change but obviously correct; any divergence in *which*
+// streams complete, *when*, or what remaining() reports is a bug in the
+// O(1)-advance rewrite.
+// ---------------------------------------------------------------------------
+
+struct ScheduleOp {
+  enum class Kind { Start, Abort, SetFactor } kind;
+  double at;          // engine time the op is applied
+  double bytes;       // Start
+  std::size_t target; // Abort: index into the starts issued so far
+  double factor;      // SetFactor
+};
+
+struct Schedule {
+  aio::sim::FluidResource::Config config;
+  std::vector<ScheduleOp> ops;
+  std::size_t n_starts = 0;
+};
+
+Schedule make_schedule(unsigned seed) {
+  std::mt19937 rng(seed);
+  Schedule s;
+  s.config.capacity = 1000.0;
+  s.config.per_stream_cap = (seed % 3 == 0) ? 90.0 : 0.0;
+  s.config.alpha = (seed % 2 == 0) ? 0.0 : 0.05;
+
+  std::uniform_real_distribution<double> gap(0.0, 0.7);
+  std::uniform_real_distribution<double> bytes(0.5, 400.0);
+  std::uniform_real_distribution<double> factor(0.0, 2.0);
+  std::uniform_int_distribution<int> kind(0, 9);
+
+  double t = 0.0;
+  for (int i = 0; i < 120; ++i) {
+    t += gap(rng);
+    const int k = kind(rng);
+    if (k < 6 || s.n_starts == 0) {
+      s.ops.push_back({ScheduleOp::Kind::Start, t, bytes(rng), 0, 0.0});
+      ++s.n_starts;
+    } else if (k < 8) {
+      std::uniform_int_distribution<std::size_t> pick(0, s.n_starts - 1);
+      s.ops.push_back({ScheduleOp::Kind::Abort, t, 0.0, pick(rng), 0.0});
+    } else {
+      // Freeze occasionally (factor 0), otherwise scale; always restore a
+      // positive factor at the end so every surviving stream completes.
+      const double f = (kind(rng) == 0) ? 0.0 : factor(rng);
+      s.ops.push_back({ScheduleOp::Kind::SetFactor, t, 0.0, 0, f});
+    }
+  }
+  s.ops.push_back({ScheduleOp::Kind::SetFactor, t + 1.0, 0.0, 0, 1.0});
+  return s;
+}
+
+// Runs a schedule against either fluid implementation.  Returns the
+// completion time per start index (-1 = never completed, i.e. aborted), plus
+// remaining() probes taken mid-run.
+template <class Model>
+struct RunOutcome {
+  std::vector<Time> done;
+  std::vector<double> probes;
+};
+
+template <class Model>
+RunOutcome<Model> run_schedule(const Schedule& s) {
+  Engine e;
+  Model m(e, typename Model::Config{s.config.capacity, s.config.per_stream_cap,
+                                    s.config.alpha});
+  RunOutcome<Model> out;
+  out.done.assign(s.n_starts, -1.0);
+  std::vector<typename Model::StreamId> ids(s.n_starts, 0);
+
+  std::size_t start_idx = 0;
+  for (const ScheduleOp& op : s.ops) {
+    switch (op.kind) {
+      case ScheduleOp::Kind::Start: {
+        const std::size_t idx = start_idx++;
+        e.schedule_at(op.at, [&m, &out, &ids, idx, b = op.bytes] {
+          ids[idx] = m.start(b, [&out, idx](Time t) { out.done[idx] = t; });
+        });
+        break;
+      }
+      case ScheduleOp::Kind::Abort:
+        e.schedule_at(op.at, [&m, &ids, tgt = op.target] {
+          if (ids[tgt] != 0) m.abort(ids[tgt]);
+        });
+        break;
+      case ScheduleOp::Kind::SetFactor:
+        e.schedule_at(op.at, [&m, f = op.factor] { m.set_capacity_factor(f); });
+        break;
+    }
+    // Probe remaining() for every stream started so far, between ops.
+    e.schedule_at(op.at + 1e-3, [&m, &out, &ids, n = start_idx] {
+      for (std::size_t i = 0; i < n; ++i)
+        if (ids[i] != 0) out.probes.push_back(m.remaining(ids[i]));
+    });
+  }
+  e.run();
+  return out;
+}
+
+class FluidDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FluidDifferential, MatchesLinearDrainReference) {
+  const Schedule s = make_schedule(GetParam());
+  const auto got = run_schedule<FluidResource>(s);
+  const auto want = run_schedule<aio::sim::testing::FluidReference>(s);
+
+  ASSERT_EQ(got.done.size(), want.done.size());
+  for (std::size_t i = 0; i < got.done.size(); ++i) {
+    // Same fate: completed in both or aborted in both.
+    ASSERT_EQ(got.done[i] < 0, want.done[i] < 0) << "stream " << i;
+    if (got.done[i] >= 0) {
+      EXPECT_NEAR(got.done[i], want.done[i], 1e-6 * (1.0 + want.done[i]))
+          << "stream " << i;
+    }
+  }
+  ASSERT_EQ(got.probes.size(), want.probes.size());
+  for (std::size_t i = 0; i < got.probes.size(); ++i)
+    EXPECT_NEAR(got.probes[i], want.probes[i], 1e-6 * (1.0 + want.probes[i]))
+        << "probe " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidDifferential,
+                         ::testing::Range(1u, 25u));
 
 }  // namespace

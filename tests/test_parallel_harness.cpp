@@ -1,0 +1,139 @@
+// Tests for the bench replication pool (bench/parallel.hpp) and the
+// determinism contract the bench binaries rely on: run_samples must return
+// results in index order, fail like the serial loop would, and a
+// miniature bench assembled from parallel units must produce byte-identical
+// aio-bench-v1 JSON at any thread count.
+#include "parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace aio;
+
+TEST(RunSamples, IndexOrderAtAnyThreadCount) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    const auto out = bench::run_samples(
+        16,
+        [](std::size_t i) {
+          // Invert the natural completion order so a pool that collected
+          // results by completion time would fail.
+          std::this_thread::sleep_for(std::chrono::microseconds((16 - i) * 50));
+          return i * i;
+        },
+        threads);
+    ASSERT_EQ(out.size(), 16u) << "threads=" << threads;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out[i], i * i) << "threads=" << threads;
+  }
+}
+
+TEST(RunSamples, EveryUnitRunsExactlyOnce) {
+  std::atomic<int> calls{0};
+  const auto out = bench::run_samples(
+      37, [&](std::size_t i) { ++calls; return i; }, 4);
+  EXPECT_EQ(calls.load(), 37);
+  EXPECT_EQ(out.size(), 37u);
+}
+
+TEST(RunSamples, MoreThreadsThanUnits) {
+  const auto out =
+      bench::run_samples(2, [](std::size_t i) { return i + 1; }, 16);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 2u);
+}
+
+TEST(RunSamples, RethrowsLowestIndexFailureLikeSerial) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    auto fail_some = [](std::size_t i) -> int {
+      if (i == 3 || i == 7) throw std::runtime_error("unit " + std::to_string(i));
+      return 0;
+    };
+    try {
+      bench::run_samples(12, fail_some, threads);
+      FAIL() << "expected throw, threads=" << threads;
+    } catch (const std::runtime_error& e) {
+      // The serial loop dies on unit 3 first; the pool must report the same.
+      EXPECT_STREQ(e.what(), "unit 3") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(RunSamples, MoveOnlyResults) {
+  auto out = bench::run_samples(
+      4, [](std::size_t i) { return std::make_unique<std::size_t>(i); }, 2);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(*out[i], i);
+}
+
+TEST(BenchThreads, EnvOverrideAndDefault) {
+  ::setenv("AIO_BENCH_THREADS", "3", 1);
+  EXPECT_EQ(bench::bench_threads(), 3u);
+  // Malformed values fall back to the default (with a stderr warning).
+  ::setenv("AIO_BENCH_THREADS", "lots", 1);
+  EXPECT_GE(bench::bench_threads(), 1u);
+  ::unsetenv("AIO_BENCH_THREADS");
+  EXPECT_GE(bench::bench_threads(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: a miniature fig1-style bench — independent
+// machines per unit, aggregate bandwidth summaries, aio-bench-v1 report —
+// must serialize to the same bytes whether the units ran on 1 thread or 4.
+// ---------------------------------------------------------------------------
+
+std::string mini_bench_json(std::size_t threads) {
+  struct Unit {
+    std::size_t writers;
+    stats::Summary bw;
+  };
+  const auto units = bench::run_samples(
+      3,
+      [](std::size_t i) {
+        const std::size_t writers = 8u << i;  // 8, 16, 32
+        bench::Machine machine(fs::xtp(), 1000 + i, /*with_load=*/true,
+                               /*min_ranks=*/0, /*obs_slot=*/static_cast<int>(i));
+        core::AdaptiveTransport::Config cfg;
+        cfg.n_files = 8;
+        core::AdaptiveTransport transport(machine.filesystem, machine.network, cfg);
+        Unit u;
+        u.writers = writers;
+        for (int s = 0; s < 2; ++s) {
+          u.bw.add(machine.run(transport, core::IoJob::uniform(writers, 1 << 20))
+                       .bandwidth());
+          machine.advance(30.0);
+        }
+        return u;
+      },
+      threads);
+
+  bench::Report report("test_parallel_harness", 1000);
+  report.config("units", 3.0);
+  for (const Unit& u : units)
+    report.row().value("writers", static_cast<double>(u.writers)).stat("bw", u.bw);
+  return report.to_json().dump();
+}
+
+TEST(ParallelHarness, ReportJsonByteIdenticalAcrossThreadCounts) {
+  const std::string serial = mini_bench_json(1);
+  const std::string pooled = mini_bench_json(4);
+  EXPECT_EQ(serial, pooled);
+  // Sanity: the report actually carries data.
+  EXPECT_NE(serial.find("aio-bench-v1"), std::string::npos) << serial.substr(0, 200);
+}
+
+}  // namespace
