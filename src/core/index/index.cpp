@@ -61,12 +61,12 @@ class Reader {
   bool ok_ = true;
 };
 
-void put_dims(std::vector<std::uint8_t>& out, const std::vector<std::uint64_t>& dims) {
+void put_dims(std::vector<std::uint8_t>& out, std::span<const std::uint64_t> dims) {
   put_u32(out, static_cast<std::uint32_t>(dims.size()));
   for (const auto d : dims) put_u64(out, d);
 }
 
-bool get_dims(Reader& r, std::vector<std::uint64_t>& dims) {
+bool get_dims(Reader& r, Dims& dims) {
   const std::uint32_t n = r.u32();
   if (!r.ok() || n > (1u << 20)) return false;
   dims.resize(n);
@@ -185,6 +185,15 @@ void FileIndex::merge(const LocalIndex& local) {
   blocks_.insert(blocks_.end(), local.blocks.begin(), local.blocks.end());
 }
 
+void FileIndex::merge(LocalIndex&& local) {
+  // Reserve with geometric growth so repeated merges stay amortized-linear.
+  const std::size_t needed = blocks_.size() + local.blocks.size();
+  if (needed > blocks_.capacity()) blocks_.reserve(std::max(needed, blocks_.capacity() * 2));
+  blocks_.insert(blocks_.end(), std::make_move_iterator(local.blocks.begin()),
+                 std::make_move_iterator(local.blocks.end()));
+  local.blocks.clear();
+}
+
 void FileIndex::finalize() {
   std::sort(blocks_.begin(), blocks_.end(), [](const BlockRecord& a, const BlockRecord& b) {
     if (a.file_offset != b.file_offset) return a.file_offset < b.file_offset;
@@ -200,12 +209,16 @@ std::size_t FileIndex::serialized_size() const {
 
 std::vector<std::uint8_t> FileIndex::serialize() const {
   std::vector<std::uint8_t> out;
-  out.reserve(serialized_size());
+  serialize_into(out);
+  return out;
+}
+
+void FileIndex::serialize_into(std::vector<std::uint8_t>& out) const {
+  out.reserve(out.size() + serialized_size());
   put_u32(out, kFileMagic);
   put_u32(out, static_cast<std::uint32_t>(file_));
   put_u32(out, static_cast<std::uint32_t>(blocks_.size()));
   for (const auto& b : blocks_) put_block(out, b);
-  return out;
 }
 
 std::optional<FileIndex> FileIndex::deserialize(std::span<const std::uint8_t> bytes) {
@@ -285,9 +298,10 @@ std::vector<std::uint8_t> GlobalIndex::serialize() const {
   put_u32(out, kGlobalMagic);
   put_u32(out, static_cast<std::uint32_t>(files_.size()));
   for (const auto& f : files_) {
-    const auto bytes = f.serialize();
-    put_u64(out, bytes.size());
-    out.insert(out.end(), bytes.begin(), bytes.end());
+    // Same bytes as serializing into a temporary and copying it over, minus
+    // the temporary: serialize_into appends exactly serialized_size() bytes.
+    put_u64(out, f.serialized_size());
+    f.serialize_into(out);
   }
   return out;
 }

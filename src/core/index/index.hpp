@@ -24,10 +24,18 @@
 #include <string>
 #include <vector>
 
+#include "core/small_vector.hpp"
+
 namespace aio::core {
 
 using Rank = std::int32_t;
 using GroupId = std::int32_t;  ///< sub-coordinator / output-file index
+
+/// Array-shape vector with four inline slots.  Every workload the repo
+/// models decomposes a 1-3 dimensional array, so block records carry their
+/// shapes without per-record heap traffic; rank > 4 arrays overflow to the
+/// heap transparently (same wire format either way).
+using Dims = SmallVector<std::uint64_t, 4>;
 
 /// Statistical fingerprint of one written block.
 struct Characteristics {
@@ -48,9 +56,9 @@ struct BlockRecord {
   std::uint32_t var_id = 0;
   std::uint64_t file_offset = 0;           ///< bytes, within the owning file
   std::uint64_t length = 0;                ///< bytes
-  std::vector<std::uint64_t> global_dims;  ///< global array shape (may be empty)
-  std::vector<std::uint64_t> offsets;      ///< this block's corner in the array
-  std::vector<std::uint64_t> counts;       ///< this block's extent
+  Dims global_dims;  ///< global array shape (may be empty)
+  Dims offsets;      ///< this block's corner in the array
+  Dims counts;       ///< this block's extent
   Characteristics ch;
 
   bool operator==(const BlockRecord&) const = default;
@@ -79,6 +87,9 @@ class FileIndex {
   explicit FileIndex(GroupId file) : file_(file) {}
 
   void merge(const LocalIndex& local);
+  /// Move-merge: steals the local index's block records (the SC hot path —
+  /// each INDEX_BODY is merged exactly once, so copying is pure waste).
+  void merge(LocalIndex&& local);
   /// Sorts blocks by file offset; call once after all merges.
   void finalize();
 
@@ -86,6 +97,9 @@ class FileIndex {
   [[nodiscard]] const std::vector<BlockRecord>& blocks() const { return blocks_; }
   [[nodiscard]] std::size_t serialized_size() const;
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  /// Appends the serialized form to `out` (reserving via serialized_size()),
+  /// producing exactly the bytes of serialize() without a temporary vector.
+  void serialize_into(std::vector<std::uint8_t>& out) const;
   static std::optional<FileIndex> deserialize(std::span<const std::uint8_t> bytes);
 
   /// Verifies blocks tile [0, data_bytes) without gaps or overlaps.
@@ -106,6 +120,8 @@ struct BlockLocation {
 class GlobalIndex {
  public:
   void add(FileIndex index);
+  /// Pre-sizes the file list (the coordinator knows n_groups up front).
+  void reserve(std::size_t n_files) { files_.reserve(n_files); }
 
   [[nodiscard]] std::size_t n_files() const { return files_.size(); }
   [[nodiscard]] const std::vector<FileIndex>& files() const { return files_; }

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <variant>
-#include <vector>
 
 #include "core/protocol/messages.hpp"
+#include "core/small_vector.hpp"
 
 namespace aio::core {
 
@@ -48,6 +48,11 @@ struct RoleDoneAction {};
 using Action =
     std::variant<SendAction, StartWriteAction, WriteIndexAction, WriteGlobalIndexAction,
                  RoleDoneAction>;
-using Actions = std::vector<Action>;
+
+/// A typical FSM step emits one or two actions (a send plus maybe a state
+/// transition), so four inline slots make steady-state protocol steps
+/// allocation-free; the coordinator's final broadcast to every SC overflows
+/// to the heap exactly once per run.
+using Actions = SmallVector<Action, 4>;
 
 }  // namespace aio::core

@@ -15,6 +15,7 @@ CoordinatorFsm::CoordinatorFsm(Config config) : config_(std::move(config)) {
   file_busy_.assign(config_.n_groups, false);
   writes_into_.assign(config_.n_groups, 0);
   stolen_from_.assign(config_.n_groups, 0);
+  global_index_.reserve(config_.n_groups);  // exactly one sub-index per group
 }
 
 bool CoordinatorFsm::all_complete() const {
@@ -137,8 +138,9 @@ Actions CoordinatorFsm::on_sub_index(const SubIndex& msg) {
   if (state_ != State::IndexGathering)
     throw std::logic_error("CoordinatorFsm: SUB_INDEX before OVERALL_WRITE_COMPLETE");
   if (!msg.index) throw std::invalid_argument("CoordinatorFsm: empty SUB_INDEX");
-  // "Gather index pieces; merge into global index" (lines 19-20).
-  global_index_.add(*msg.index);
+  // "Gather index pieces; merge into global index" (lines 19-20).  The SC
+  // shipped its only copy, so the block list moves straight in.
+  global_index_.add(std::move(*msg.index));
   ++sub_indices_received_;
   Actions out;
   if (sub_indices_received_ == config_.n_groups) {

@@ -74,6 +74,10 @@ class CoordinatorFsm {
     return size > stolen ? size - static_cast<std::size_t>(stolen) : 0;
   }
   [[nodiscard]] const GlobalIndex& global_index() const { return global_index_; }
+  /// Relinquishes the merged global index (for a run handing its result to
+  /// the caller).  global_index() is empty afterwards; read any statistics
+  /// (total_blocks, ...) before taking.
+  [[nodiscard]] GlobalIndex take_global_index() { return std::move(global_index_); }
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:

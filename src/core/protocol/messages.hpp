@@ -50,6 +50,9 @@ struct WriteComplete {
 /// INDEX_BODY: writer -> SC owning the file the data landed in.
 struct IndexBody {
   std::shared_ptr<const LocalIndex> index;
+  /// Cached index->serialized_size(); 0 means "not cached, compute".  The
+  /// sender stamps it once so wire_bytes() never re-walks the block list.
+  std::uint64_t serialized_bytes = 0;
 };
 
 /// ADAPTIVE_WRITE_START: C -> a still-writing SC, carrying the free target
@@ -72,9 +75,14 @@ struct OverallWriteComplete {
 };
 
 /// SC -> C: the merged per-file index ("Send the index to C", Alg. 2).
+/// The index is shared non-const so the coordinator — provably the only
+/// remaining consumer once the message is delivered — can move the block
+/// list into the global index instead of copying it.
 struct SubIndex {
   GroupId group = -1;
-  std::shared_ptr<const FileIndex> index;
+  std::shared_ptr<FileIndex> index;
+  /// Cached index->serialized_size(); 0 means "not cached, compute".
+  std::uint64_t serialized_bytes = 0;
 };
 
 using MessageBody = std::variant<DoWrite, WriteComplete, IndexBody, AdaptiveWriteStart,

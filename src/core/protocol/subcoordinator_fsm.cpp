@@ -60,8 +60,7 @@ Actions SubCoordinatorFsm::on_write_complete(const WriteComplete& msg) {
       out.push_back(SendAction{config_.coordinator, Message{config_.rank, fwd}});
     } else {
       --active_local_;
-      const Actions next = signal_next_writers();
-      out.insert(out.end(), next.begin(), next.end());
+      out.append(signal_next_writers());
     }
     if (writers_remaining_ == 0 && !group_done_sent_) {
       // "if all writers completed: send WRITE_COMPLETE to C" (lines 12-13).
@@ -135,19 +134,26 @@ void SubCoordinatorFsm::check_ready_to_index(Actions& out) {
   // (lines 31-32).
   state_ = State::IndexWriting;
   file_index_.finalize();
+  // Cache the size: it also stamps the SUB_INDEX message so the network
+  // layer never re-walks the block list (finalize() only reorders, so the
+  // serialized size is already final here).
+  file_index_bytes_ = file_index_.serialized_size();
   out.push_back(WriteIndexAction{config_.group, final_data_offset_,
-                                 static_cast<double>(file_index_.serialized_size())});
+                                 static_cast<double>(file_index_bytes_)});
 }
 
 Actions SubCoordinatorFsm::on_index_write_done() {
   if (state_ != State::IndexWriting)
     throw std::logic_error("SubCoordinatorFsm: index write completion out of order");
   state_ = State::Done;
-  // "Send the index to C" (line 33).
-  auto shared = std::make_shared<FileIndex>(file_index_);
+  // "Send the index to C" (line 33).  The runtime has already written the
+  // index to the file (that is what this completion notifies), so the merged
+  // blocks can move into the message instead of being copied.
+  auto shared = std::make_shared<FileIndex>(std::move(file_index_));
   Actions out;
-  out.push_back(SendAction{config_.coordinator,
-                           Message{config_.rank, SubIndex{config_.group, std::move(shared)}}});
+  out.push_back(SendAction{
+      config_.coordinator,
+      Message{config_.rank, SubIndex{config_.group, std::move(shared), file_index_bytes_}}});
   out.push_back(RoleDoneAction{});
   return out;
 }

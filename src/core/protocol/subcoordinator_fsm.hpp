@@ -60,6 +60,10 @@ class SubCoordinatorFsm {
   [[nodiscard]] std::uint64_t indices_received() const { return indices_received_; }
   [[nodiscard]] std::uint64_t completions_into_file() const { return completions_into_file_; }
   [[nodiscard]] std::size_t redirected_members() const { return redirected_; }
+  /// The merged index of this SC's file.  Its blocks move into the SUB_INDEX
+  /// message when on_index_write_done() fires, so read it before then (the
+  /// runtimes serialize it while executing WriteIndexAction, which precedes
+  /// that notification).
   [[nodiscard]] const FileIndex& file_index() const { return file_index_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
@@ -76,6 +80,7 @@ class SubCoordinatorFsm {
   bool group_done_sent_ = false;
 
   FileIndex file_index_;
+  std::uint64_t file_index_bytes_ = 0;  ///< cached serialized size, set at finalize
   std::uint64_t indices_received_ = 0;
   std::uint64_t completions_into_file_ = 0;
   std::size_t redirected_ = 0;

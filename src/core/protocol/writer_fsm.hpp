@@ -52,7 +52,11 @@ class WriterFsm {
   State state_ = State::Idle;
   GroupId target_ = -1;
   double offset_ = 0.0;
-  std::shared_ptr<const LocalIndex> index_;
+  /// Allocated once at construction (a copy of the blueprint); on_do_write
+  /// stamps file locations in place.  Safe because the state machine allows
+  /// exactly one write per FSM instance — the index is never rebuilt.
+  std::shared_ptr<LocalIndex> index_;
+  std::uint64_t index_bytes_ = 0;  ///< cached serialized size (offset-independent)
 };
 
 }  // namespace aio::core

@@ -1,0 +1,207 @@
+// Small vector with inline storage for the protocol/index hot paths.
+//
+// `SmallVector<T, N>` keeps up to N elements in an inline buffer and only
+// touches the allocator when a value overflows that capacity.  Two users
+// drive the design:
+//
+//   * `core::Actions` — a typical FSM step emits one or two actions, so a
+//     four-slot buffer makes every steady-state protocol step allocation
+//     free (the coordinator's final broadcast may overflow, once per run);
+//   * `BlockRecord`'s dims — real workloads decompose 1-3 dimensional
+//     arrays, so a four-slot buffer inlines every shape the repo models
+//     while still accepting exotic higher-rank blocks via heap overflow.
+//
+// The API is the std::vector subset those call sites use (push_back /
+// emplace_back / reserve / resize / clear / iteration / operator== /
+// assignment from initializer lists and contiguous ranges) plus `append`
+// for draining one vector into another by move.  Growth relocates by move
+// and never shrinks back to inline storage, so pointers into a heap-mode
+// vector stay valid across clear()/refill cycles of smaller size.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+namespace aio::core {
+
+template <class T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be nonzero");
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "relocation on growth must not throw");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() noexcept = default;
+
+  SmallVector(std::initializer_list<T> init) { assign_copy(init.begin(), init.size()); }
+
+  SmallVector(const SmallVector& o) { assign_copy(o.data(), o.size()); }
+
+  SmallVector(SmallVector&& o) noexcept { steal(std::move(o)); }
+
+  ~SmallVector() {
+    clear();
+    if (!inline_storage()) ::operator delete(data_);
+  }
+
+  SmallVector& operator=(const SmallVector& o) {
+    if (this != &o) {
+      clear();
+      assign_copy(o.data(), o.size());
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& o) noexcept {
+    if (this != &o) {
+      clear();
+      if (!inline_storage()) {
+        ::operator delete(data_);
+        data_ = inline_data();
+        capacity_ = N;
+      }
+      steal(std::move(o));
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(std::initializer_list<T> init) {
+    clear();
+    assign_copy(init.begin(), init.size());
+    return *this;
+  }
+
+  /// Assign from any contiguous range of T (std::vector, std::array, ...).
+  SmallVector& operator=(std::span<const T> s) {
+    clear();
+    assign_copy(s.data(), s.size());
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+
+  [[nodiscard]] iterator begin() noexcept { return data_; }
+  [[nodiscard]] iterator end() noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data_; }
+  [[nodiscard]] const_iterator end() const noexcept { return data_ + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  [[nodiscard]] T& front() noexcept { return data_[0]; }
+  [[nodiscard]] const T& front() const noexcept { return data_[0]; }
+  [[nodiscard]] T& back() noexcept { return data_[size_ - 1]; }
+  [[nodiscard]] const T& back() const noexcept { return data_[size_ - 1]; }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow_to(n);
+  }
+
+  void clear() noexcept {
+    std::destroy_n(data_, size_);
+    size_ = 0;
+  }
+
+  void resize(std::size_t n) {
+    if (n < size_) {
+      std::destroy_n(data_ + n, size_ - n);
+    } else {
+      reserve(n);
+      for (std::size_t i = size_; i < n; ++i) ::new (static_cast<void*>(data_ + i)) T();
+    }
+    size_ = n;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow_to(capacity_ * 2);
+    T* p = ::new (static_cast<void*>(data_ + size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_back() noexcept {
+    --size_;
+    std::destroy_at(data_ + size_);
+  }
+
+  /// Drains `other` into this vector by move; `other` is left empty.
+  void append(SmallVector&& other) {
+    reserve(size_ + other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i)
+      ::new (static_cast<void*>(data_ + size_ + i)) T(std::move(other.data_[i]));
+    size_ += other.size_;
+    other.clear();
+  }
+
+  [[nodiscard]] bool operator==(const SmallVector& o) const {
+    return size_ == o.size_ && std::equal(begin(), end(), o.begin());
+  }
+
+  [[nodiscard]] operator std::span<const T>() const noexcept { return {data_, size_}; }
+
+ private:
+  [[nodiscard]] T* inline_data() noexcept { return reinterpret_cast<T*>(buf_); }
+  [[nodiscard]] bool inline_storage() const noexcept {
+    return data_ == reinterpret_cast<const T*>(buf_);
+  }
+
+  void assign_copy(const T* src, std::size_t n) {
+    reserve(n);
+    for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(data_ + i)) T(src[i]);
+    size_ = n;
+  }
+
+  // Move elements (or adopt the heap block) out of `o`; *this must be empty
+  // and on inline storage.
+  void steal(SmallVector&& o) noexcept {
+    if (o.inline_storage()) {
+      for (std::size_t i = 0; i < o.size_; ++i)
+        ::new (static_cast<void*>(data_ + i)) T(std::move(o.data_[i]));
+      size_ = o.size_;
+      o.clear();
+    } else {
+      data_ = o.data_;
+      size_ = o.size_;
+      capacity_ = o.capacity_;
+      o.data_ = o.inline_data();
+      o.size_ = 0;
+      o.capacity_ = N;
+    }
+  }
+
+  void grow_to(std::size_t n) {
+    const std::size_t cap = std::max(n, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      std::destroy_at(data_ + i);
+    }
+    if (!inline_storage()) ::operator delete(data_);
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  alignas(T) unsigned char buf_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace aio::core

@@ -54,11 +54,20 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
 
   void begin(const IoJob& job);
   void start_protocol();
-  void execute(Rank from, Actions actions);
+  void execute(Rank from, Actions& actions);
+  void execute(Rank from, Actions&& actions) { execute(from, actions); }
   void deliver(Rank to, const Message& msg);
   void all_roles_done();
   void trace_steal_grant(const SendAction& send);
   void trace_steal_complete(const WriteComplete& msg);
+
+  /// Scratch action list reused across deliveries.  Steady-state steps fit
+  /// the SmallVector's inline slots; the rare overflow (the coordinator's
+  /// final broadcast) leaves its heap block here for the rest of the run
+  /// instead of being reallocated per message.  Safe because nothing in
+  /// execute() delivers a message synchronously (every send/write completes
+  /// through a scheduled event), so deliver() never re-enters itself.
+  Actions scratch_;
 };
 
 void AdaptiveRun::begin(const IoJob& job) {
@@ -72,6 +81,7 @@ void AdaptiveRun::begin(const IoJob& job) {
 
   const auto sc_of = [topo = topo](GroupId grp) { return topo.sc_rank(grp); };
 
+  actors.reserve(n);
   actors.resize(n);
   for (Rank r = 0; r < static_cast<Rank>(n); ++r) {
     const GroupId grp = topo.group_of(r);
@@ -90,6 +100,8 @@ void AdaptiveRun::begin(const IoJob& job) {
     sc.rank = topo.sc_rank(grp);
     sc.coordinator = Topology::coordinator_rank();
     const Rank begin_rank = topo.group_begin(grp);
+    sc.members.reserve(topo.group_size(grp));
+    sc.member_bytes.reserve(topo.group_size(grp));
     for (std::size_t i = 0; i < topo.group_size(grp); ++i) {
       sc.members.push_back(begin_rank + static_cast<Rank>(i));
       sc.member_bytes.push_back(job.bytes_per_writer[static_cast<std::size_t>(begin_rank) + i]);
@@ -100,6 +112,7 @@ void AdaptiveRun::begin(const IoJob& job) {
   {
     CoordinatorFsm::Config cc;
     cc.n_groups = g;
+    cc.group_sizes.reserve(g);
     for (GroupId grp = 0; grp < static_cast<GroupId>(g); ++grp)
       cc.group_sizes.push_back(topo.group_size(grp));
     cc.sc_of = sc_of;
@@ -229,17 +242,23 @@ void AdaptiveRun::deliver(Rank to, const Message& msg) {
     }
     Actions operator()(const SubIndex& m) { return actor.coord->on_sub_index(m); }
   };
-  execute(to, std::visit(Visitor{actor}, msg.body));
+  Actions produced = std::visit(Visitor{actor}, msg.body);
+  scratch_.clear();
+  scratch_.append(std::move(produced));
+  execute(to, scratch_);
 }
 
-void AdaptiveRun::execute(Rank from, Actions actions) {
+void AdaptiveRun::execute(Rank from, Actions& actions) {
   auto self = shared_from_this();
   for (auto& action : actions) {
     if (auto* send = std::get_if<SendAction>(&action)) {
       if ((trace || metrics) && from == Topology::coordinator_rank()) trace_steal_grant(*send);
       const Rank to = send->to;
-      net.send(from, to, send->msg.wire_bytes(),
-               [self, to, msg = std::move(send->msg)] { self->deliver(to, msg); });
+      const double bytes = send->msg.wire_bytes();  // before the move below
+      auto deliver_cb = [self, to, msg = std::move(send->msg)] { self->deliver(to, msg); };
+      static_assert(sizeof(deliver_cb) <= 96,
+                    "protocol deliver closure outgrew the engine callback SBO");
+      net.send(from, to, bytes, std::move(deliver_cb));
     } else if (const auto* write = std::get_if<StartWriteAction>(&action)) {
       result.writer_times[static_cast<std::size_t>(from)].start = fs.engine().now();
       if (trace) {
@@ -298,7 +317,7 @@ void AdaptiveRun::execute(Rank from, Actions actions) {
 
 void AdaptiveRun::all_roles_done() {
   result.t_data_done = fs.engine().now();
-  const CoordinatorFsm& coord = *actors[0].coord;
+  CoordinatorFsm& coord = *actors[0].coord;
   result.steals = coord.total_steals();
   result.grants_issued = coord.grants_issued();
   if (metrics) {
@@ -306,8 +325,10 @@ void AdaptiveRun::all_roles_done() {
     metrics->gauge("protocol.last_steals").set(static_cast<double>(result.steals));
     metrics->gauge("protocol.last_grants").set(static_cast<double>(result.grants_issued));
   }
+  // Read the block count before taking: take_global_index() empties the
+  // coordinator's copy.
   result.total_blocks_indexed = coord.global_index().total_blocks();
-  result.global_index = std::make_shared<GlobalIndex>(coord.global_index());
+  result.global_index = std::make_shared<GlobalIndex>(coord.take_global_index());
   result.output_files = files;
   result.master_file = master;
 
@@ -337,17 +358,9 @@ void AdaptiveTransport::run(const IoJob& job, std::function<void(IoResult)> on_d
   std::size_t n_files = config_.n_files == 0 ? fs_.n_osts() : config_.n_files;
   if (!config_.targets.empty()) n_files = config_.targets.size();
   n_files = std::min(n_files, job.n_writers());
-  if (!config_.targets.empty() && n_files < config_.targets.size()) {
-    AdaptiveTransport::Config trimmed = config_;
-    trimmed.targets.resize(n_files);
-    auto run = std::make_shared<AdaptiveRun>(fs_, net_, trimmed,
-                                             Topology(job.n_writers(), n_files));
-    run->on_done = std::move(on_done);
-    run->begin(job);
-    return;
-  }
-
-  auto run = std::make_shared<AdaptiveRun>(fs_, net_, config_,
+  Config cfg = config_;
+  if (!cfg.targets.empty() && n_files < cfg.targets.size()) cfg.targets.resize(n_files);
+  auto run = std::make_shared<AdaptiveRun>(fs_, net_, std::move(cfg),
                                            Topology(job.n_writers(), n_files));
   run->on_done = std::move(on_done);
   run->begin(job);

@@ -27,9 +27,13 @@ struct StagingNode {
   double file_offset = 0.0;
   std::size_t active_drains = 0;
 
+  /// Move-only SBO callable: a queued writer's acceptance callback (one
+  /// shared_ptr + an index in practice) parks in the deque without a heap
+  /// allocation per queued write.
+  using OnAccepted = sim::InplaceFunction<void(sim::Time), 48>;
   struct Pending {
     double bytes;
-    std::function<void(sim::Time)> on_accepted;
+    OnAccepted on_accepted;
   };
   std::deque<Pending> queue;
   double in_transfer = 0.0;  // bytes currently moving over the link
@@ -43,7 +47,7 @@ struct StagingNode {
                               index * cfg.osts_per_node);
   }
 
-  void submit(double bytes, std::function<void(sim::Time)> on_accepted) {
+  void submit(double bytes, OnAccepted on_accepted) {
     queue.push_back(Pending{bytes, std::move(on_accepted)});
     admit();
   }
@@ -56,7 +60,7 @@ struct StagingNode {
       queue.pop_front();
       in_transfer += p.bytes;
       link->start(p.bytes, [this, bytes = p.bytes,
-                            on_accepted = std::move(p.on_accepted)](sim::Time now) {
+                            on_accepted = std::move(p.on_accepted)](sim::Time now) mutable {
         in_transfer -= bytes;
         occupancy += bytes;
         undrained += bytes;

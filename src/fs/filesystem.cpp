@@ -21,83 +21,91 @@ std::size_t StripedFile::target_of(double offset) const {
   return targets_[stripe % targets_.size()];
 }
 
+StripedFile::Segments StripedFile::split_segments(double offset, double bytes,
+                                                  std::size_t max_segments) const {
+  // Bound the chain length: split the range into at most `max_segments`
+  // equal pieces and charge each piece to the target of its first byte,
+  // coalescing runs that land on the same target.
+  const double n_stripes =
+      std::ceil((offset + bytes) / stripe_size_) - std::floor(offset / stripe_size_);
+  Segments segments;
+  const auto pieces =
+      static_cast<std::size_t>(std::min<double>(static_cast<double>(max_segments), n_stripes));
+  const double piece = bytes / static_cast<double>(pieces);
+  for (std::size_t i = 0; i < pieces; ++i) {
+    const std::size_t tgt = target_of(offset + piece * static_cast<double>(i));
+    if (!segments.empty() && segments.back().first == tgt) {
+      segments.back().second += piece;
+    } else {
+      segments.emplace_back(tgt, piece);
+    }
+  }
+  return segments;
+}
+
 void StripedFile::write(double offset, double bytes, Ost::Mode mode, OnComplete on_complete,
                         std::size_t max_segments) {
   if (bytes <= 0.0) throw std::invalid_argument("StripedFile::write: bytes must be > 0");
   if (offset < 0.0) throw std::invalid_argument("StripedFile::write: negative offset");
   if (max_segments == 0) max_segments = 1;
 
-  // Walk the range stripe by stripe, coalescing runs that land on the same
-  // target (always the case for single-target files).
-  std::vector<std::pair<std::size_t, double>> segments;  // (ost index, bytes)
-  const double n_stripes = std::ceil((offset + bytes) / stripe_size_) -
-                           std::floor(offset / stripe_size_);
+  const double n_stripes =
+      std::ceil((offset + bytes) / stripe_size_) - std::floor(offset / stripe_size_);
   if (targets_.size() == 1 || n_stripes <= 1.0) {
-    segments.emplace_back(target_of(offset), bytes);
-  } else {
-    // Bound the chain length: split the range into at most `max_segments`
-    // equal pieces and charge each piece to the target of its first byte.
-    const auto pieces = static_cast<std::size_t>(
-        std::min<double>(static_cast<double>(max_segments), n_stripes));
-    const double piece = bytes / static_cast<double>(pieces);
-    for (std::size_t i = 0; i < pieces; ++i) {
-      const std::size_t tgt = target_of(offset + piece * static_cast<double>(i));
-      if (!segments.empty() && segments.back().first == tgt) {
-        segments.back().second += piece;
-      } else {
-        segments.emplace_back(tgt, piece);
-      }
-    }
+    // Single-segment fast path (the transports' common case): the caller's
+    // callback moves straight into the target OST — no segment vector, no
+    // chain wrapper, no allocation.
+    fs_.ost(target_of(offset)).write(bytes, mode, std::move(on_complete));
+    return;
   }
-  write_chain(std::move(segments), 0, mode, std::move(on_complete));
+  write_chain(split_segments(offset, bytes, max_segments), 0, mode, std::move(on_complete));
 }
+
+struct StripedFile::ReadState {
+  Segments segments;
+  OnComplete on_complete;
+};
 
 void StripedFile::read(double offset, double bytes, OnComplete on_complete,
                        std::size_t max_segments) {
   if (bytes <= 0.0) throw std::invalid_argument("StripedFile::read: bytes must be > 0");
   if (offset < 0.0) throw std::invalid_argument("StripedFile::read: negative offset");
   if (max_segments == 0) max_segments = 1;
-  // Same stripe walk as write(), but issued as read ops.
   const double n_stripes =
       std::ceil((offset + bytes) / stripe_size_) - std::floor(offset / stripe_size_);
-  std::vector<std::pair<std::size_t, double>> segments;
   if (targets_.size() == 1 || n_stripes <= 1.0) {
-    segments.emplace_back(target_of(offset), bytes);
-  } else {
-    const auto pieces = static_cast<std::size_t>(
-        std::min<double>(static_cast<double>(max_segments), n_stripes));
-    const double piece = bytes / static_cast<double>(pieces);
-    for (std::size_t i = 0; i < pieces; ++i) {
-      const std::size_t tgt = target_of(offset + piece * static_cast<double>(i));
-      if (!segments.empty() && segments.back().first == tgt) {
-        segments.back().second += piece;
-      } else {
-        segments.emplace_back(tgt, piece);
-      }
-    }
+    fs_.ost(target_of(offset)).read(bytes, std::move(on_complete));
+    return;
   }
   // Sequential chain, like a client streaming through the file.
-  auto chain = std::make_shared<std::function<void(std::size_t)>>();
-  *chain = [this, segments = std::move(segments), on_complete = std::move(on_complete),
-            chain](std::size_t next) mutable {
-    if (next >= segments.size()) {
-      if (on_complete) on_complete(fs_.engine().now());
-      *chain = nullptr;  // break the self-reference cycle
-      return;
-    }
-    const auto [target, seg_bytes] = segments[next];
-    fs_.ost(target).read(seg_bytes, [chain, next](sim::Time) { (*chain)(next + 1); });
-  };
-  (*chain)(0);
+  auto state = std::make_shared<ReadState>(
+      ReadState{split_segments(offset, bytes, max_segments), std::move(on_complete)});
+  read_chain(std::move(state), 0);
 }
 
-void StripedFile::write_chain(std::vector<std::pair<std::size_t, double>> segments,
-                              std::size_t next, Ost::Mode mode, OnComplete on_complete) {
+void StripedFile::read_chain(std::shared_ptr<ReadState> state, std::size_t next) {
+  if (next >= state->segments.size()) {
+    if (state->on_complete) state->on_complete(fs_.engine().now());
+    return;
+  }
+  const auto [target, seg_bytes] = state->segments[next];
+  fs_.ost(target).read(
+      seg_bytes, [this, state = std::move(state), next](sim::Time) mutable {
+        read_chain(std::move(state), next + 1);
+      });
+}
+
+void StripedFile::write_chain(Segments segments, std::size_t next, Ost::Mode mode,
+                              OnComplete on_complete) {
   if (next >= segments.size()) {
     if (on_complete) on_complete(fs_.engine().now());
     return;
   }
   const auto [target, bytes] = segments[next];
+  // This closure (segment list + a full OnComplete) outgrows the OST's SBO,
+  // so each multi-segment chain link heap-allocates — acceptable: striped
+  // multi-segment writes are the MPI-IO baseline's shape, not the adaptive
+  // protocol's steady state.
   fs_.ost(target).write(
       bytes, mode,
       [this, segments = std::move(segments), next, mode,
@@ -107,10 +115,16 @@ void StripedFile::write_chain(std::vector<std::pair<std::size_t, double>> segmen
 }
 
 void StripedFile::flush(OnComplete on_complete) {
-  auto remaining = std::make_shared<std::size_t>(targets_.size());
+  // Fan-in barrier: the shared state owns the (move-only) callback, and each
+  // per-target closure is one shared_ptr — inside the OST's SBO.
+  struct FanIn {
+    std::size_t remaining;
+    OnComplete on_complete;
+  };
+  auto state = std::make_shared<FanIn>(FanIn{targets_.size(), std::move(on_complete)});
   for (const std::size_t t : targets_) {
-    fs_.ost(t).flush([remaining, on_complete](sim::Time now) {
-      if (--*remaining == 0 && on_complete) on_complete(now);
+    fs_.ost(t).flush([state](sim::Time now) {
+      if (--state->remaining == 0 && state->on_complete) state->on_complete(now);
     });
   }
 }
@@ -148,9 +162,10 @@ StripedFile& FileSystem::make_file(std::string path, std::size_t stripe_count,
 void FileSystem::open(std::string path, std::size_t stripe_count, std::size_t first_ost,
                       OpenCallback on_open, double stripe_size) {
   StripedFile& file = make_file(std::move(path), stripe_count, first_ost, stripe_size);
-  mds_.submit(MetadataServer::OpKind::Open, [&file, on_open = std::move(on_open)](sim::Time now) {
-    if (on_open) on_open(file, now);
-  });
+  mds_.submit(MetadataServer::OpKind::Open,
+              [&file, on_open = std::move(on_open)](sim::Time now) mutable {
+                if (on_open) on_open(file, now);
+              });
 }
 
 StripedFile& FileSystem::open_immediate(std::string path, std::size_t stripe_count,

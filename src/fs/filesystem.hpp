@@ -43,7 +43,11 @@ class FileSystem;
 /// per-target segment, chained sequentially as a real client would.
 class StripedFile {
  public:
-  using OnComplete = std::function<void(sim::Time)>;
+  /// Completion callback: the OST's move-only 64-byte-SBO type, shared so a
+  /// single-segment write/read passes the caller's callback straight to the
+  /// target OST with no extra wrapper layer (the common case — transports
+  /// write rank-contiguous regions that live on one target).
+  using OnComplete = Ost::OnComplete;
 
   /// Writes `bytes` at `offset`.  `max_segments` bounds the chain length for
   /// ranges spanning many stripes (coalescing adjacent stripes).
@@ -69,8 +73,16 @@ class StripedFile {
   StripedFile(FileSystem& fs, std::string path, std::vector<std::size_t> targets,
               double stripe_size);
 
-  void write_chain(std::vector<std::pair<std::size_t, double>> segments, std::size_t next,
-                   Ost::Mode mode, OnComplete on_complete);
+  using Segments = std::vector<std::pair<std::size_t, double>>;  // (ost, bytes)
+  struct ReadState;
+
+  /// Splits [offset, offset+bytes) into at most `max_segments` per-target
+  /// pieces.  Only called on the multi-stripe slow path.
+  [[nodiscard]] Segments split_segments(double offset, double bytes,
+                                        std::size_t max_segments) const;
+
+  void write_chain(Segments segments, std::size_t next, Ost::Mode mode, OnComplete on_complete);
+  void read_chain(std::shared_ptr<ReadState> state, std::size_t next);
 
   FileSystem& fs_;
   std::string path_;
@@ -80,8 +92,11 @@ class StripedFile {
 
 class FileSystem {
  public:
-  using OpenCallback = std::function<void(StripedFile&, sim::Time)>;
-  using OnComplete = std::function<void(sim::Time)>;
+  /// Open callback (move-only, 64-byte SBO).  Its 80-byte object plus the
+  /// file reference must fit the metadata server's 96-byte callback SBO —
+  /// that pairing is what keeps an open storm allocation-free.
+  using OpenCallback = sim::InplaceFunction<void(StripedFile&, sim::Time), 64>;
+  using OnComplete = Ost::OnComplete;
 
   FileSystem(sim::Engine& engine, FsConfig config);
 

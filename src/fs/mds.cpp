@@ -37,29 +37,37 @@ void MetadataServer::dispatch() {
     return;
   }
   busy_ = true;
-  Request req = std::move(queue_.front());
+  in_service_ = std::move(queue_.front());
   queue_.pop_front();
-  const double service =
-      base_time(req.kind) * (1.0 + config_.queue_penalty * static_cast<double>(queue_.size()));
+  const double service = base_time(in_service_.kind) *
+                         (1.0 + config_.queue_penalty * static_cast<double>(queue_.size()));
   if (auto* trace = engine_.trace(); trace && trace->wants(obs::kCatMds)) {
-    trace->begin(obs::kCatMds, obs::kPidMds, 0, engine_.now(), op_name(req.kind),
+    trace->begin(obs::kCatMds, obs::kPidMds, 0, engine_.now(), op_name(in_service_.kind),
                  {{"queued_behind", obs::Json(static_cast<double>(queue_.size()))},
                   {"service_s", obs::Json(service)}});
   }
-  engine_.schedule_after(service, [this, req = std::move(req)]() mutable {
-    ++completed_;
-    if (auto* trace = engine_.trace(); trace && trace->wants(obs::kCatMds))
-      trace->end(obs::kCatMds, obs::kPidMds, 0, engine_.now());
-    if (auto* reg = engine_.metrics()) reg->counter("mds.ops").add();
-    // Dispatch the next request before running the callback so a callback
-    // that submits more work observes an idle-or-busy server consistently.
-    dispatch();
-    if (auto* trace = engine_.trace(); trace && trace->wants(obs::kCatMds)) {
-      trace->counter(obs::kCatMds, obs::kPidMds, engine_.now(), "mds.backlog",
-                     static_cast<double>(backlog()));
-    }
-    if (req.on_complete) req.on_complete(engine_.now());
-  });
+  // The in-service request stays in `in_service_` rather than riding in the
+  // closure: the event then captures one pointer and an open storm's worth
+  // of service events stays inside the engine's callback SBO.
+  engine_.schedule_after(service, [this] { complete_in_service(); });
+}
+
+void MetadataServer::complete_in_service() {
+  ++completed_;
+  if (auto* trace = engine_.trace(); trace && trace->wants(obs::kCatMds))
+    trace->end(obs::kCatMds, obs::kPidMds, 0, engine_.now());
+  if (auto* reg = engine_.metrics()) reg->counter("mds.ops").add();
+  // Move the finished request out before dispatching the next one (which
+  // reuses the `in_service_` slot), and dispatch before running the callback
+  // so a callback that submits more work observes an idle-or-busy server
+  // consistently.
+  Request req = std::move(in_service_);
+  dispatch();
+  if (auto* trace = engine_.trace(); trace && trace->wants(obs::kCatMds)) {
+    trace->counter(obs::kCatMds, obs::kPidMds, engine_.now(), "mds.backlog",
+                   static_cast<double>(backlog()));
+  }
+  if (req.on_complete) req.on_complete(engine_.now());
 }
 
 }  // namespace aio::fs

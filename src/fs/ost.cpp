@@ -51,18 +51,35 @@ Ost::OpId Ost::write(double bytes, Mode mode, OnComplete on_complete) {
   if (bytes <= 0.0) throw std::invalid_argument("Ost::write: bytes must be > 0");
   advance();
   const OpId id = next_id_++;
-  ops_.emplace(id, Op{bytes, 0.0, 0.0, mode, false, std::move(on_complete)});
+  insert_op(id, Op{bytes, 0.0, 0.0, mode, false, std::move(on_complete)});
   bytes_submitted_ += bytes;
   recompute();
   return id;
+}
+
+void Ost::insert_op(OpId id, Op op) {
+  if (spare_ops_.empty()) {
+    ops_.emplace(id, std::move(op));
+    return;
+  }
+  auto node = std::move(spare_ops_.back());
+  spare_ops_.pop_back();
+  node.key() = id;
+  node.mapped() = std::move(op);
+  ops_.insert(std::move(node));
+}
+
+void Ost::retire_op(OpMap::iterator it) {
+  auto node = ops_.extract(it);
+  node.mapped().on_complete = OnComplete{};
+  spare_ops_.push_back(std::move(node));
 }
 
 Ost::OpId Ost::read(double bytes, OnComplete on_complete) {
   if (bytes <= 0.0) throw std::invalid_argument("Ost::read: bytes must be > 0");
   advance();
   const OpId id = next_id_++;
-  Op op{bytes, bytes, bytes, Mode::Durable, true, std::move(on_complete)};
-  ops_.emplace(id, std::move(op));
+  insert_op(id, Op{bytes, bytes, bytes, Mode::Durable, true, std::move(on_complete)});
   bytes_read_requested_ += bytes;
   recompute();
   return id;
@@ -80,7 +97,7 @@ bool Ost::abort(OpId id) {
   advance();
   if (const auto it = ops_.find(id); it != ops_.end()) {
     orphan_ += it->second.dirty;  // in-cache bytes still have to drain
-    ops_.erase(it);
+    retire_op(it);
     recompute();
     return true;
   }
@@ -282,8 +299,11 @@ void Ost::fire() {
   advance();
 
   // Collect completions first; callbacks run only after the state is
-  // consistent.
-  std::vector<OnComplete> done;
+  // consistent.  The batch reuses a member scratch vector: fire() never
+  // re-enters (it only runs from engine events), and the callbacks it
+  // invokes at the bottom only see the scratch after collection is done.
+  std::vector<OnComplete>& done = done_scratch_;
+  done.clear();
   for (auto it = ops_.begin(); it != ops_.end();) {
     Op& op = it->second;
     const double ingest_eps = kEps + (op.inflow + 1.0) * kEpsSeconds;
@@ -298,13 +318,13 @@ void Ost::fire() {
       if (op.mode == Mode::Cached) {
         orphan_ += op.dirty;  // residue keeps draining in background
         done.push_back(std::move(op.on_complete));
-        it = ops_.erase(it);
+        retire_op(it++);
         continue;
       }
       if (op.dirty <= drain_eps) {
         if (!op.is_read) cum_drained_ += op.dirty;
         done.push_back(std::move(op.on_complete));
-        it = ops_.erase(it);
+        retire_op(it++);
         continue;
       }
     }
@@ -324,7 +344,7 @@ void Ost::fire() {
     // parallel writers absorb it once; serialized chains pay it per link.
     if (config_.op_latency_s > 0.0) {
       engine_.schedule_after(config_.op_latency_s,
-                             [cb = std::move(cb), this] { cb(engine_.now()); });
+                             [cb = std::move(cb), this]() mutable { cb(engine_.now()); });
     } else {
       cb(now);
     }

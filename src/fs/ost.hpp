@@ -56,9 +56,14 @@ class Ost {
   };
 
   using OpId = std::uint64_t;
-  using OnComplete = std::function<void(sim::Time)>;
+  /// Completion callback (move-only, 64-byte SBO).  64 bytes covers every
+  /// transport's per-write capture — the widest is a shared run-state
+  /// pointer plus a couple of indices and a completion lambda — so the
+  /// data-path write/read/flush completions never heap-allocate.
+  using OnComplete = sim::InplaceFunction<void(sim::Time), 64>;
   /// Invoked when the OST transitions between idle and active (used by the
-  /// fabric governor to apportion system-wide bandwidth).
+  /// fabric governor to apportion system-wide bandwidth).  Copied into the
+  /// deferred notification event, so it stays a std::function.
   using ActivityHook = std::function<void(bool active)>;
 
   Ost(sim::Engine& engine, Config config, int index = 0);
@@ -123,9 +128,13 @@ class Ost {
     OnComplete on_complete;
   };
 
+  using OpMap = std::map<OpId, Op>;
+
   void advance();    ///< integrates fluid state from last_update_ to now
   void recompute();  ///< derives rates from current state and re-arms event
   void fire();       ///< event handler: completes ops, re-derives rates
+  void insert_op(OpId id, Op op);       ///< adds an op, reusing a spare node
+  void retire_op(OpMap::iterator it);   ///< removes an op, parking its node
   [[nodiscard]] bool flush_ready() const;
   /// Emits cache-full / dirty-stream transition events when a trace sink is
   /// installed on the engine (called from recompute with its derived state).
@@ -141,8 +150,13 @@ class Ost {
   Config config_;
   int index_;
 
-  std::map<OpId, Op> ops_;  // ordered: deterministic iteration
+  OpMap ops_;  // ordered: deterministic iteration
   std::vector<Flush> flushes_;
+  // Completed/aborted map nodes are parked here and re-keyed by the next
+  // write()/read(), so steady-state op churn never touches the allocator
+  // while iteration order (and thus float accumulation order) is untouched.
+  std::vector<OpMap::node_type> spare_ops_;
+  std::vector<OnComplete> done_scratch_;  // fire()'s completion batch
   OpId next_id_ = 1;
 
   // Fluid state, valid as of last_update_.

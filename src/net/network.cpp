@@ -29,10 +29,13 @@ void Network::send(Rank from, Rank to, double bytes, Deliver deliver) {
     engine_.schedule_after(latency, std::move(deliver));
     return;
   }
-  nics_[node_of(from)]->start(
-      bytes, [this, latency, deliver = std::move(deliver)](sim::Time) mutable {
-        engine_.schedule_after(latency, std::move(deliver));
-      });
+  auto relay = [this, latency, deliver = std::move(deliver)](sim::Time) mutable {
+    engine_.schedule_after(latency, std::move(deliver));
+  };
+  // The relay (this + latency + a 96-byte-SBO Deliver) must fit the fluid
+  // callback's SBO, or every cross-node message would heap-allocate.
+  static_assert(sizeof(relay) <= 128, "NIC relay closure outgrew FluidResource::OnComplete SBO");
+  nics_[node_of(from)]->start(bytes, std::move(relay));
 }
 
 }  // namespace aio::net

@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -33,7 +32,12 @@ struct NetConfig {
 
 class Network {
  public:
-  using Deliver = std::function<void()>;
+  /// Delivery callback.  Aliases the engine's callback type (96-byte SBO,
+  /// move-only) so a send's closure — typically a shared_ptr to the run plus
+  /// a full 56-byte protocol `Message` — moves from the caller through the
+  /// NIC into the event queue without ever touching the heap or being
+  /// re-wrapped in a second callable layer.
+  using Deliver = sim::Engine::Callback;
 
   Network(sim::Engine& engine, NetConfig config, std::size_t n_ranks);
 

@@ -10,10 +10,10 @@
 // live out-of-band in a generation-tagged slot table (`Slot`), so
 // cancellation is an O(1) flag set — no hashing, no heap surgery — and a
 // cancelled node is skipped (and its slot reclaimed) when it surfaces.  The
-// callback type is `InplaceFunction` (48-byte small-buffer optimization), so
-// the common lambda captures (a this-pointer plus a couple of ids) never
-// touch the allocator.  When more than half the heap is cancelled debris the
-// heap is compacted in one O(n) pass.
+// callback type is `InplaceFunction` (96-byte small-buffer optimization), so
+// every hot-path capture — up to a full protocol message plus its routing
+// state — never touches the allocator.  When more than half the heap is
+// cancelled debris the heap is compacted in one O(n) pass.
 //
 // Events come in two kinds: *normal* events represent work the simulation is
 // waiting for; *daemon* events represent perpetual background processes
@@ -52,7 +52,13 @@ class EventHandle {
 
 class Engine {
  public:
-  using Callback = InplaceFunction<void()>;
+  // 96 bytes of SBO: sized for the widest hot-path captures in the stack —
+  // a protocol deliver closure holding a shared_ptr to the run, a
+  // destination rank, and a 56-byte `core::Message` (see
+  // net::Network::Deliver, which aliases this type so sends move into the
+  // queue without re-wrapping), and the OST's op-latency wrapper around an
+  // 80-byte fs completion callback.
+  using Callback = InplaceFunction<void(), 96>;
 
   /// An engine optionally carries observability hooks: a trace sink and a
   /// metrics registry, both null by default.  Everything built on top of the

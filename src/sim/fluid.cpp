@@ -57,7 +57,15 @@ FluidResource::StreamId FluidResource::start(double bytes, OnComplete on_complet
   advance();
   const StreamId id = next_id_++;
   const double v_finish = vwork_ + bytes;
-  streams_.emplace(id, Stream{v_finish, std::move(on_complete)});
+  if (spare_nodes_.empty()) {
+    streams_.emplace(id, Stream{v_finish, std::move(on_complete)});
+  } else {
+    auto node = std::move(spare_nodes_.back());
+    spare_nodes_.pop_back();
+    node.key() = id;
+    node.mapped() = Stream{v_finish, std::move(on_complete)};
+    streams_.insert(std::move(node));
+  }
   dheap_push(heap_, HeapEntry{v_finish, id}, heap_before);
   reschedule();
   return id;
@@ -65,7 +73,14 @@ FluidResource::StreamId FluidResource::start(double bytes, OnComplete on_complet
 
 bool FluidResource::abort(StreamId id) {
   advance();
-  const bool erased = streams_.erase(id) > 0;
+  auto node = streams_.extract(id);
+  const bool erased = !node.empty();
+  if (erased) {
+    // Drop the callback now — an aborted stream's captures must not outlive
+    // the abort just because the node is parked for reuse.
+    node.mapped().on_complete = OnComplete{};
+    spare_nodes_.push_back(std::move(node));
+  }
   // The heap entry stays behind (lazy deletion): stream ids are never
   // reused, so an entry whose id is absent from the map is skipped when it
   // surfaces, and all debris is dropped at the next idle rebase.
@@ -143,7 +158,12 @@ void FluidResource::fire() {
   // resource, and must observe a consistent stream set.  Completions pop
   // off the heap in (finish work, start order) — exact ties complete FIFO.
   const double threshold = done_threshold();
-  std::vector<OnComplete> done;
+  // The batch lives in a member scratch vector so steady-state completions
+  // reuse its capacity.  Callbacks may start new streams (which touches
+  // streams_/heap_ but not the scratch); fire() itself never re-enters — it
+  // only runs from engine events.
+  std::vector<OnComplete>& done = done_scratch_;
+  done.clear();
   while (!heap_.empty()) {
     const HeapEntry top = heap_.front();
     const auto it = streams_.find(top.id);
@@ -154,7 +174,9 @@ void FluidResource::fire() {
     if (top.v_finish - vwork_ > threshold) break;
     dheap_pop(heap_, heap_before);
     done.push_back(std::move(it->second.on_complete));
-    streams_.erase(it);
+    auto node = streams_.extract(it);
+    node.mapped().on_complete = OnComplete{};
+    spare_nodes_.push_back(std::move(node));
   }
   assert(!done.empty());
   reschedule();

@@ -42,8 +42,12 @@ class FluidResource {
   };
 
   using StreamId = std::uint64_t;
-  /// Completion callback; receives the finish time.
-  using OnComplete = InplaceFunction<void(Time)>;
+  /// Completion callback; receives the finish time.  128 bytes of SBO: the
+  /// widest capture routed through a fluid stream is the NIC path's relay
+  /// around a network deliver closure (a 96-byte-SBO `Engine::Callback` plus
+  /// the NIC's own latency/this state, 128 bytes total), which must land
+  /// inline or every message send would heap-allocate right back.
+  using OnComplete = InplaceFunction<void(Time), 128>;
 
   FluidResource(Engine& engine, Config config);
   ~FluidResource();
@@ -99,11 +103,18 @@ class FluidResource {
   void fire();         ///< completes every stream whose finish work is reached
   double min_v_finish();  ///< earliest live finish; +inf if none (pops stale)
 
+  using StreamMap = std::unordered_map<StreamId, Stream>;
+
   Engine& engine_;
   Config config_;
   double factor_ = 1.0;
-  std::unordered_map<StreamId, Stream> streams_;
+  StreamMap streams_;
   std::vector<HeapEntry> heap_;  // aborted streams removed lazily
+  // Finished/aborted map nodes are kept and re-keyed on the next start(), so
+  // steady-state stream churn never touches the allocator (the table's bucket
+  // array and the heap stop growing once warm).
+  std::vector<StreamMap::node_type> spare_nodes_;
+  std::vector<OnComplete> done_scratch_;  // fire()'s completion batch
   StreamId next_id_ = 1;
   Time last_update_ = 0.0;
   double vwork_ = 0.0;  ///< cumulative per-stream work; rebased to 0 at idle

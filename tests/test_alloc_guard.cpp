@@ -1,0 +1,269 @@
+// Allocation-count regression guard for the protocol hot path.
+//
+// Replaces global operator new with a counting hook and asserts that, after
+// a warm-up pass has populated every freelist and scratch buffer (engine
+// event slots, NIC stream nodes, OST op nodes, SmallVector inline storage),
+// the steady-state paths allocate NOTHING:
+//
+//   * scheduling + dispatching an engine event,
+//   * sending + delivering a protocol-sized network message,
+//   * an OST write round-trip,
+//   * every control-plane FSM step a delivered message triggers
+//     (DO_WRITE, WRITE_COMPLETE, steal grant / decline handling).
+//
+// If a future change reintroduces a per-message allocation — a widened
+// closure falling off the SBO, a map node per stream, a vector rebuilt per
+// call — these tests fail with the exact count.
+//
+// The hook counts only between guard.start()/guard.stop(), so gtest and
+// library internals outside the measured region don't pollute the numbers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "core/protocol/coordinator_fsm.hpp"
+#include "core/protocol/subcoordinator_fsm.hpp"
+#include "core/protocol/writer_fsm.hpp"
+#include "fs/ost.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocs{0};
+
+void note_alloc() {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// Minimal replacement set: every allocating form funnels through malloc so
+// sized/unsized deletes stay matched.  Works under ASan too (the malloc
+// beneath is still intercepted), which is where CI runs this test.
+void* operator new(std::size_t n) {
+  note_alloc();
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  note_alloc();
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(al), n ? n : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) { return ::operator new(n, al); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace aio;
+using namespace aio::core;
+
+class AllocGuard {
+ public:
+  void start() {
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  std::size_t stop() {
+    g_counting.store(false, std::memory_order_relaxed);
+    return g_allocs.load(std::memory_order_relaxed);
+  }
+};
+
+// --- engine ------------------------------------------------------------------
+
+TEST(AllocGuard, EngineEventCycleIsAllocationFree) {
+  sim::Engine engine;
+  int fired = 0;
+  const auto burst = [&] {
+    for (int i = 0; i < 64; ++i)
+      engine.schedule_after(1e-6 * (i + 1), [&fired] { ++fired; });
+    engine.run();
+  };
+  burst();  // warm-up: slot table and heap reach steady-state capacity
+
+  AllocGuard guard;
+  guard.start();
+  burst();
+  EXPECT_EQ(guard.stop(), 0u) << "engine schedule/dispatch allocated";
+  EXPECT_EQ(fired, 128);
+}
+
+// --- network delivery --------------------------------------------------------
+
+TEST(AllocGuard, MessageDeliveryIsAllocationFree) {
+  sim::Engine engine;
+  net::Network net(engine, net::NetConfig{}, 16);
+
+  // Model the adaptive transport's deliver closure: a shared_ptr to the run
+  // state, a destination rank, and a full 56-byte protocol Message.
+  auto run_state = std::make_shared<int>(0);
+  const auto burst = [&] {
+    for (net::Rank r = 1; r < 16; ++r) {
+      Message msg{0, WriteComplete{}};
+      const double bytes = msg.wire_bytes();
+      auto deliver = [run_state, r, msg = std::move(msg)] {
+        *run_state += static_cast<int>(r) + static_cast<int>(msg.from);
+      };
+      static_assert(sizeof(deliver) <= 96, "deliver closure must fit the engine SBO");
+      net.send(0, r, bytes, std::move(deliver));
+    }
+    engine.run();
+  };
+  burst();  // warm-up: NIC stream-map nodes + engine slots
+
+  AllocGuard guard;
+  guard.start();
+  burst();
+  EXPECT_EQ(guard.stop(), 0u) << "network send/deliver allocated per message";
+}
+
+// --- OST write round-trip ----------------------------------------------------
+
+TEST(AllocGuard, OstWriteCycleIsAllocationFree) {
+  sim::Engine engine;
+  fs::Ost ost(engine, fs::Ost::Config{}, 0);
+  const auto burst = [&] {
+    for (int i = 0; i < 8; ++i)
+      ost.write(1 << 20, fs::Ost::Mode::Durable, [](sim::Time) {});
+    engine.run();
+  };
+  burst();  // warm-up: op-map node freelist, drain events, scratch
+
+  AllocGuard guard;
+  guard.start();
+  burst();
+  EXPECT_EQ(guard.stop(), 0u) << "OST write/completion allocated per op";
+}
+
+// --- protocol FSM steps ------------------------------------------------------
+
+Rank sc_of(GroupId g) { return g * 4; }
+
+WriterFsm::Config writer_cfg(Rank rank, GroupId group) {
+  WriterFsm::Config c;
+  c.rank = rank;
+  c.group = group;
+  c.my_sc = sc_of(group);
+  c.bytes = 1000.0;
+  BlockRecord b;
+  b.writer = rank;
+  b.length = 1000;
+  b.global_dims = {64, 64, 64};
+  b.offsets = {0, 0, 0};
+  b.counts = {4, 4, 4};
+  c.blueprint.writer = rank;
+  c.blueprint.blocks.push_back(b);
+  c.sc_of = sc_of;
+  return c;
+}
+
+TEST(AllocGuard, WriterStepsAreAllocationFree) {
+  WriterFsm w(writer_cfg(1, 0));  // index pre-allocated here, outside the guard
+
+  AllocGuard guard;
+  guard.start();
+  const Actions a1 = w.on_do_write(DoWrite{0, 0.0});
+  const Actions a2 = w.on_write_done();
+  EXPECT_EQ(guard.stop(), 0u) << "writer FSM allocated per delivered message";
+  EXPECT_EQ(a1.size(), 1u);
+  EXPECT_EQ(a2.size(), 3u);
+}
+
+TEST(AllocGuard, SubCoordinatorControlStepsAreAllocationFree) {
+  SubCoordinatorFsm::Config c;
+  c.group = 0;
+  c.rank = 0;
+  c.coordinator = 0;
+  c.members = {0, 1, 2, 3};
+  c.member_bytes = {1000.0, 1000.0, 1000.0, 1000.0};
+  SubCoordinatorFsm sc(c);
+  const Actions first = sc.start();
+  ASSERT_EQ(first.size(), 1u);
+
+  WriteComplete done;
+  done.kind = WriteComplete::Kind::WriterDone;
+  done.writer = 0;
+  done.origin_group = 0;
+  done.file = 0;
+  done.bytes = 1000.0;
+
+  AllocGuard guard;
+  guard.start();
+  // A mid-group local completion: ack + signal the next waiting writer.
+  const Actions a = sc.on_write_complete(done);
+  EXPECT_EQ(guard.stop(), 0u) << "SC completion handling allocated";
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<SendAction>(a[0]));
+}
+
+TEST(AllocGuard, StealGrantPathIsAllocationFree) {
+  // Coordinator with two groups; group 1 finishes first and its file is
+  // refilled from group 0 — the adaptive-write steal cycle of Algorithm 3.
+  CoordinatorFsm::Config cc;
+  cc.n_groups = 2;
+  cc.group_sizes = {4, 4};
+  cc.sc_of = sc_of;
+  CoordinatorFsm coord(cc);
+
+  WriteComplete group_done;
+  group_done.kind = WriteComplete::Kind::GroupDone;
+  group_done.origin_group = 1;
+  group_done.file = 1;
+  group_done.final_offset = 4000.0;
+  const Actions grant0 = coord.on_write_complete(group_done);
+  ASSERT_EQ(grant0.size(), 1u);  // first steal grant issued
+
+  // The SC side of a grant: redirect one waiting writer.
+  SubCoordinatorFsm::Config scc;
+  scc.group = 0;
+  scc.rank = 0;
+  scc.coordinator = 0;
+  scc.members = {0, 1, 2, 3};
+  scc.member_bytes = {1000.0, 1000.0, 1000.0, 1000.0};
+  SubCoordinatorFsm sc(scc);
+  (void)sc.start();
+
+  WriteComplete adaptive_done;
+  adaptive_done.kind = WriteComplete::Kind::AdaptiveDone;
+  adaptive_done.writer = 1;
+  adaptive_done.origin_group = 0;
+  adaptive_done.file = 1;
+  adaptive_done.bytes = 1000.0;
+
+  AllocGuard guard;
+  guard.start();
+  // Steady-state steal cycle: grant accepted by the SC, completion returns
+  // to the coordinator, which immediately issues the next grant.
+  const Actions redirect = sc.on_adaptive_write_start(AdaptiveWriteStart{1, 4000.0});
+  const Actions regrant = coord.on_write_complete(adaptive_done);
+  EXPECT_EQ(guard.stop(), 0u) << "steal grant cycle allocated";
+  ASSERT_EQ(redirect.size(), 1u);
+  ASSERT_EQ(regrant.size(), 1u);
+  EXPECT_EQ(coord.total_steals(), 1u);
+
+  // The decline path (WRITERS_BUSY) is equally hot under contention.
+  ASSERT_TRUE(std::holds_alternative<SendAction>(regrant[0]));
+  guard.start();
+  const Actions decline = coord.on_writers_busy(WritersBusy{0, 1});
+  EXPECT_EQ(guard.stop(), 0u) << "WRITERS_BUSY handling allocated";
+  (void)decline;
+}
+
+}  // namespace

@@ -12,6 +12,7 @@
 //   * the protocol terminates (all roles done) for every topology.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <memory>
 #include <optional>
@@ -82,6 +83,31 @@ class Harness {
   [[nodiscard]] const Topology& topo() const { return topo_; }
   [[nodiscard]] double global_index_bytes() const { return global_index_bytes_; }
   [[nodiscard]] double bytes_for(Rank r) const { return opt_.bytes_of(r); }
+
+  /// FNV-1a fingerprint of everything the protocol decided: per-writer
+  /// completion times, steal count, the serialized global index, and the
+  /// global index write size.  Golden values pin the pre-rewrite behavior
+  /// bit-for-bit (see GoldenDigest tests below).
+  [[nodiscard]] std::uint64_t digest() const {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](const void* p, std::size_t n) {
+      const auto* b = static_cast<const unsigned char*>(p);
+      for (std::size_t i = 0; i < n; ++i) {
+        h ^= b[i];
+        h *= 1099511628211ull;
+      }
+    };
+    for (const auto& [rank, t] : write_done_) {
+      mix(&rank, sizeof(rank));
+      mix(&t, sizeof(t));
+    }
+    const std::uint64_t steals = coord_->total_steals();
+    mix(&steals, sizeof(steals));
+    const auto bytes = coord_->global_index().serialize();
+    mix(bytes.data(), bytes.size());
+    mix(&global_index_bytes_, sizeof(global_index_bytes_));
+    return h;
+  }
 
  private:
   struct Event {
@@ -174,8 +200,10 @@ class Harness {
         push(delay, [this, to = send->to, msg = std::move(send->msg)] { deliver(to, msg); });
       } else if (const auto* w = std::get_if<StartWriteAction>(&action)) {
         files_[w->file].regions.push_back({w->offset, w->bytes, from});
-        push(opt_.write_cost(from),
-             [this, from] { execute(from, writers_.at(from)->on_write_done()); });
+        push(opt_.write_cost(from), [this, from] {
+          write_done_.emplace(from, clock_);
+          execute(from, writers_.at(from)->on_write_done());
+        });
       } else if (const auto* wi = std::get_if<WriteIndexAction>(&action)) {
         files_[wi->file].index_bytes = wi->bytes;
         push(1.0, [this, from] { execute(from, scs_.at(from)->on_index_write_done()); });
@@ -197,6 +225,7 @@ class Harness {
   std::unique_ptr<CoordinatorFsm> coord_;
   std::priority_queue<Event> events_;
   std::map<GroupId, FileState> files_;
+  std::map<Rank, double> write_done_;
   double clock_ = 0.0;
   std::uint64_t executed_ = 0;
   std::size_t roles_remaining_ = 0;
@@ -293,6 +322,47 @@ TEST(ProtocolIntegration, UniformBytesNonDivisibleGroups) {
   Harness h(opt);
   h.run();
   check_invariants(h, opt);
+}
+
+// Golden-seed digests: these fingerprints were captured from the protocol
+// *before* the allocation-free rewrite (inline dims, small-vector Actions,
+// move-based index merges) and pin writer completion times, steal counts,
+// and the serialized global index bit-for-bit.  If one of these changes,
+// the rewrite altered observable protocol behavior, not just its cost.
+TEST(ProtocolIntegration, GoldenDigestDefaultTopology) {
+  HarnessOptions opt;
+  opt.n_writers = 32;
+  opt.n_groups = 4;
+  opt.seed = 1;
+  Harness h(opt);
+  h.run();
+  check_invariants(h, opt);
+  EXPECT_EQ(h.digest(), 8111226024974849764ull);
+}
+
+TEST(ProtocolIntegration, GoldenDigestStealingSkew) {
+  HarnessOptions opt;
+  opt.n_writers = 32;
+  opt.n_groups = 4;
+  opt.seed = 7;
+  opt.write_cost = [](Rank r) { return r < 8 ? 60.0 : 1.0; };
+  Harness h(opt);
+  h.run();
+  check_invariants(h, opt);
+  EXPECT_GT(h.coordinator().total_steals(), 0u);
+  EXPECT_EQ(h.digest(), 2217997355084092579ull);
+}
+
+TEST(ProtocolIntegration, GoldenDigestNonDivisibleConcurrency) {
+  HarnessOptions opt;
+  opt.n_writers = 29;
+  opt.n_groups = 3;
+  opt.max_concurrent = 2;
+  opt.seed = 13;
+  Harness h(opt);
+  h.run();
+  check_invariants(h, opt);
+  EXPECT_EQ(h.digest(), 11491637215901391430ull);
 }
 
 struct SweepParam {
