@@ -17,6 +17,7 @@ using namespace aio;
 int main() {
   const std::size_t samples = bench::samples_or(5);
   const std::size_t max_procs = bench::max_procs_or(8192);
+  bench::warn_unreached_max_procs(max_procs, {2048, 8192});
   bench::banner("ext_steal_policy",
                 "future-work extension: round-robin vs longest-queue steal source",
                 "Pixie3D large (128 MB), Jaguar, adaptive/512 OSTs, with interference job");

@@ -43,6 +43,7 @@ int main() {
   const double sizes_mb[] = {1, 8, 32, 128, 512, 1024};
   std::vector<std::size_t> writer_counts;
   for (std::size_t w = 512; w <= max_procs; w *= 2) writer_counts.push_back(w);
+  bench::warn_unreached_max_procs(max_procs, writer_counts.empty() ? 0 : writer_counts.back());
 
   bench::Report report("fig1_internal_interference", 1000);
   report.config("samples", static_cast<double>(samples))

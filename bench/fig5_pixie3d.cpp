@@ -83,6 +83,7 @@ std::vector<ScalePoint> run_condition(const workload::Pixie3dConfig& model, bool
 int main() {
   const std::size_t samples = bench::samples_or(5);
   const std::size_t max_procs = bench::max_procs_or(16384);
+  bench::warn_unreached_max_procs(max_procs, {512, 2048, 8192, 16384});
   bench::banner("fig5_pixie3d",
                 "Fig. 5(a) small 2 MB, 5(b) large 128 MB, 5(c) extra-large 1 GB per process",
                 "Pixie3D kernel, Jaguar, MPI-IO/160 OSTs vs adaptive/512 OSTs");

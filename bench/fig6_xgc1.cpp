@@ -26,6 +26,7 @@ struct ScalePoint {
 int main() {
   const std::size_t samples = bench::samples_or(5);
   const std::size_t max_procs = bench::max_procs_or(16384);
+  bench::warn_unreached_max_procs(max_procs, {512, 2048, 8192, 16384});
   bench::banner("fig6_xgc1", "Fig. 6: XGC1 IO performance (38 MB/process)",
                 "XGC1 kernel, Jaguar, MPI-IO/160 OSTs vs adaptive/512 OSTs");
 

@@ -46,6 +46,7 @@ struct ScalePoint {
 int main() {
   const std::size_t samples = bench::samples_or(6);
   const std::size_t max_procs = bench::max_procs_or(16384);
+  bench::warn_unreached_max_procs(max_procs, {512, 2048, 8192, 16384});
   bench::banner("fig7_variability",
                 "Fig. 7(a-d): standard deviation of write time for the 4 cases",
                 "Jaguar, MPI-IO/160 OSTs vs adaptive/512 OSTs, base conditions");

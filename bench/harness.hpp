@@ -9,7 +9,8 @@
 //   AIO_BENCH_SAMPLES    overrides each bench's default sample count
 //   AIO_BENCH_THREADS    replication thread pool (bench/parallel.hpp);
 //                        default hardware_concurrency, 1 = serial
-//   AIO_BENCH_MAX_PROCS  caps the largest writer count (default 16384)
+//   AIO_BENCH_MAX_PROCS  caps the largest writer count (default 16384;
+//                        parsing and truncation warnings in bench/env.hpp)
 //   AIO_BENCH_JSON       writes machine-readable results (bench/report.hpp)
 //   AIO_BENCH_MAX_STEPS  engine-step watchdog: abort (with diagnostics and
 //                        a trace dump) instead of spinning on a hung run
@@ -51,10 +52,6 @@ namespace aio::bench {
 
 inline std::size_t samples_or(std::size_t fallback) {
   return env_size("AIO_BENCH_SAMPLES", fallback);
-}
-
-inline std::size_t max_procs_or(std::size_t fallback) {
-  return env_size("AIO_BENCH_MAX_PROCS", fallback);
 }
 
 /// Builds the per-machine metrics registry when observability is requested

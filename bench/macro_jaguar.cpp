@@ -1,0 +1,175 @@
+// Paper-scale weak scaling — the full-Jaguar run, measured as simulator cost.
+//
+// Every other bench reports *simulated* seconds; this one reports what it
+// costs to produce them.  It sweeps 16,384 -> 65,536 -> 224,160 writers (the
+// full 18,680-node x 12-core Jaguar) against the 672-OST Lustre scratch with
+// Pixie3D small payloads (2 MB/process), and records host wall-clock,
+// engine events/sec, process peak RSS, and resident bytes per writer — the
+// numbers that decide whether "paper-scale" fits one workstation core.
+//
+// The adaptive transport runs at every scale with the streamed global merge
+// (peak index memory O(largest sub-index)); MPI-IO rides along at the
+// scales where the baseline is worth timing (<= 16,384 writers).
+//
+// Honours the usual knobs (bench/harness.hpp): AIO_BENCH_SAMPLES,
+// AIO_BENCH_MAX_PROCS (672 groups need at most 224,160 writers — the cap
+// trims the sweep, see bench/env.hpp), AIO_BENCH_MAX_STEPS, AIO_BENCH_JSON.
+#include <chrono>
+#include <cinttypes>
+#include <memory>
+#include <optional>
+
+#if defined(__unix__)
+#include <unistd.h>
+#endif
+
+#include "harness.hpp"
+#include "workload/pixie3d.hpp"
+
+namespace {
+
+using namespace aio;
+
+// Streamed merge keeps the coordinator from retaining every sub-index; the
+// detection shim keeps this file compilable against trees whose adaptive
+// config predates the knob (the pre/post A-B harness builds this same bench
+// at both ends of the change).
+template <typename C>
+auto enable_streamed_merge(C& cfg, int) -> decltype(void(cfg.retain_global_index)) {
+  cfg.retain_global_index = false;
+}
+template <typename C>
+void enable_streamed_merge(C&, long) {}
+
+/// Resident set size right now, in bytes (0 where /proc is unavailable).
+/// Unlike the getrusage high-water mark this can go down, so per-scale
+/// deltas around a rig build+run measure that scale's own footprint.
+std::uint64_t current_rss_bytes() {
+#if defined(__unix__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long pages = 0, resident = 0;
+  const int n = std::fscanf(f, "%lu %lu", &pages, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<std::uint64_t>(resident) *
+         static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+struct RunCost {
+  double wall_s = 0.0;        ///< host seconds: rig build + run to completion
+  double sim_s = 0.0;         ///< simulated seconds the run produced
+  double events_per_s = 0.0;  ///< engine steps per host second
+  std::uint64_t rss_delta = 0;  ///< resident growth across the whole sample
+};
+
+/// One cold sample: build a rig sized to `procs`, run one collective output,
+/// tear everything down.  The RSS delta brackets the entire sample so it
+/// charges the job, the network, the transport, and every live index to the
+/// scale that allocated them.
+RunCost run_one(const fs::MachineSpec& spec, const workload::Pixie3dConfig& model,
+                std::size_t procs, bool adaptive) {
+  const std::uint64_t rss0 = current_rss_bytes();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  sim::Engine engine;
+  fs::FileSystem filesystem(engine, spec.fs);
+  std::optional<net::Network> network;
+  std::unique_ptr<core::Transport> transport;
+  if (adaptive) {
+    network.emplace(engine,
+                    net::NetConfig{spec.msg_latency_s, spec.nic_bw, spec.cores_per_node}, procs);
+    core::AdaptiveTransport::Config cfg;  // n_files = 0: one file per OST (672 groups)
+    enable_streamed_merge(cfg, 0);
+    transport = std::make_unique<core::AdaptiveTransport>(filesystem, *network, cfg);
+  } else {
+    core::MpiioTransport::Config cfg;
+    cfg.stripe_count = 160;  // the Lustre single-file limit, as in fig5
+    cfg.stripe_size = model.bytes_per_process();
+    cfg.max_segments = 4;
+    transport = std::make_unique<core::MpiioTransport>(filesystem, cfg);
+  }
+
+  const core::IoJob job = workload::pixie3d_job(model, procs);
+  std::optional<core::IoResult> result;
+  transport->run(job, [&](core::IoResult r) { result = std::move(r); });
+  const std::size_t max_steps = bench::env_size("AIO_BENCH_MAX_STEPS", 0);
+  if (max_steps == 0)
+    engine.run();
+  else
+    engine.run(max_steps);
+  if (!result)
+    throw std::runtime_error("macro_jaguar: " + transport->name() +
+                             " did not complete at " + std::to_string(procs) + " writers");
+
+  RunCost cost;
+  cost.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  cost.sim_s = result->io_seconds();
+  cost.events_per_s =
+      cost.wall_s > 0.0 ? static_cast<double>(engine.steps()) / cost.wall_s : 0.0;
+  const std::uint64_t rss1 = current_rss_bytes();
+  cost.rss_delta = rss1 > rss0 ? rss1 - rss0 : 0;
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t samples = bench::samples_or(1);
+  const std::size_t max_procs = bench::max_procs_or(224160);
+  bench::warn_unreached_max_procs(max_procs, {16384, 65536, 224160});
+  bench::banner("macro_jaguar",
+                "paper-scale weak scaling: simulator cost up to the full 224,160-core Jaguar",
+                "Pixie3D small (2 MB/process), 672 OSTs, adaptive (+ MPI-IO at <= 16k)");
+
+  bench::Report report("macro_jaguar", 4200);
+  report.config("samples", static_cast<double>(samples))
+      .config("max_procs", static_cast<double>(max_procs));
+
+  const fs::MachineSpec spec = fs::jaguar();
+  const workload::Pixie3dConfig model = workload::Pixie3dConfig::small_model();
+
+  stats::Table table(
+      {"writers", "transport", "wall s", "sim s", "Mevents/s", "rss delta", "B/writer"});
+
+  // Ascending scales: the first (16,384-writer) rows run in a pristine
+  // process, which is what the pre/post A-B comparison reads.
+  for (const std::size_t procs :
+       {std::size_t{16384}, std::size_t{65536}, std::size_t{224160}}) {
+    if (procs > max_procs) continue;
+    const bool mpiio_feasible = procs <= 16384;
+    for (const bool adaptive : {true, false}) {
+      if (!adaptive && !mpiio_feasible) continue;
+      stats::Summary wall;
+      RunCost last;
+      for (std::size_t s = 0; s < samples; ++s) {
+        last = run_one(spec, model, procs, adaptive);
+        wall.add(last.wall_s);
+      }
+      const double bytes_per_writer =
+          static_cast<double>(last.rss_delta) / static_cast<double>(procs);
+      table.add_row({std::to_string(procs), adaptive ? "adaptive" : "mpiio",
+                     stats::Table::num(wall.mean(), 3), stats::Table::num(last.sim_s, 2),
+                     stats::Table::num(last.events_per_s / 1e6, 2),
+                     bench::mb(static_cast<double>(last.rss_delta)),
+                     stats::Table::num(bytes_per_writer, 0)});
+      report.row()
+          .tag("transport", adaptive ? "adaptive" : "mpiio")
+          .value("procs", static_cast<double>(procs))
+          .value("sim_s", last.sim_s)
+          .value("events_per_sec", last.events_per_s)
+          .value("rss_delta_bytes", static_cast<double>(last.rss_delta))
+          .value("bytes_per_writer", bytes_per_writer)
+          .value("peak_rss_bytes", static_cast<double>(bench::peak_rss_bytes()))
+          .stat("wall_s", wall);
+    }
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("peak RSS (whole process): %s\n",
+              bench::mb(static_cast<double>(bench::peak_rss_bytes())).c_str());
+  return 0;
+}

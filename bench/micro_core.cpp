@@ -202,16 +202,16 @@ BENCHMARK(BM_TopologyGroupOf);
 
 void BM_SubCoordinatorHandleCompletion(benchmark::State& state) {
   const std::size_t members = 256;
+  const std::vector<double> member_bytes(members, 1e6);
   for (auto _ : state) {
     state.PauseTiming();
     core::SubCoordinatorFsm::Config cfg;
     cfg.group = 0;
     cfg.rank = 0;
     cfg.coordinator = 0;
-    for (std::size_t i = 0; i < members; ++i) {
-      cfg.members.push_back(static_cast<core::Rank>(i));
-      cfg.member_bytes.push_back(1e6);
-    }
+    cfg.first_member = 0;
+    cfg.n_members = members;
+    cfg.member_bytes = member_bytes;
     core::SubCoordinatorFsm sc(cfg);
     sc.start();
     state.ResumeTiming();

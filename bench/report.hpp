@@ -12,6 +12,8 @@
 //     "bench":  "fig5_pixie3d",
 //     "seed":   100,
 //     "config": {"samples": 2, "max_procs": 1024},
+//     "peak_rss_bytes": 123456789,          // getrusage high-water mark
+//     "peak_rss_bytes_per_proc": 120563.2,  // present when config has "max_procs"
 //     "rows": [
 //       {"tags":   {"model": "default", "condition": "clean"},
 //        "values": {"procs": 512},
@@ -30,10 +32,33 @@
 #include <string>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "obs/json.hpp"
 #include "stats/summary.hpp"
 
 namespace aio::bench {
+
+/// Peak resident set size of this process so far, in bytes (0 where the
+/// platform offers no getrusage).  A high-water mark, not a current reading:
+/// it captures the worst moment of the whole run, which is exactly the
+/// number a memory ceiling cares about.  Linux reports ru_maxrss in KiB,
+/// macOS in bytes.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(u.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(u.ru_maxrss) * 1024u;
+#endif
+#else
+  return 0;
+#endif
+}
 
 class Report {
  public:
@@ -109,6 +134,13 @@ class Report {
     doc.set("bench", bench_);
     doc.set("seed", obs::Json(static_cast<double>(seed_)));
     doc.set("config", config_);
+    // Memory telemetry: reports are serialized at the end of a run, so the
+    // getrusage high-water mark is the run's peak.  The per-proc figure is
+    // only meaningful when the config declares the scale it ran at.
+    const auto rss = static_cast<double>(peak_rss_bytes());
+    doc.set("peak_rss_bytes", obs::Json(rss));
+    if (const obs::Json* procs = config_.find("max_procs"); procs && procs->number() > 0.0)
+      doc.set("peak_rss_bytes_per_proc", obs::Json(rss / procs->number()));
     obs::Json rows = obs::Json::array();
     for (const Row& r : rows_) {
       obs::Json row = obs::Json::object();

@@ -158,7 +158,11 @@ core::IoResult Simulation::write_step(const IoGroup& group, Method method,
   job.blueprint = [blueprints](core::Rank r) {
     return blueprints->at(static_cast<std::size_t>(r));
   };
-  (void)group;  // group metadata travels through the blueprints
+  // Intern the group's variable names once for the run; block records carry
+  // only numeric ids, the result resolves them through this table.
+  auto vars = std::make_shared<core::VarTable>();
+  for (VarId v = 0; v < group.n_vars(); ++v) vars->intern(group.var(v).name);
+  job.var_names = std::move(vars);
 
   std::unique_ptr<core::Transport> transport;
   switch (method) {

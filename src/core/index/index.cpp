@@ -6,6 +6,32 @@
 
 namespace aio::core {
 
+// --- VarTable ----------------------------------------------------------------
+
+std::uint32_t VarTable::intern(const std::string& name) {
+  const auto pos = std::lower_bound(
+      by_name_.begin(), by_name_.end(), name,
+      [this](std::uint32_t id, const std::string& n) { return names_[id] < n; });
+  if (pos != by_name_.end() && names_[*pos] == name) return *pos;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(name);
+  by_name_.insert(pos, id);
+  return id;
+}
+
+const std::string& VarTable::name(std::uint32_t id) const {
+  static const std::string kUnknown = "?";
+  return id < names_.size() ? names_[id] : kUnknown;
+}
+
+std::optional<std::uint32_t> VarTable::find(const std::string& name) const {
+  const auto pos = std::lower_bound(
+      by_name_.begin(), by_name_.end(), name,
+      [this](std::uint32_t id, const std::string& n) { return names_[id] < n; });
+  if (pos != by_name_.end() && names_[*pos] == name) return *pos;
+  return std::nullopt;
+}
+
 namespace {
 
 // --- flat byte serialization helpers ---------------------------------------
@@ -186,12 +212,20 @@ void FileIndex::merge(const LocalIndex& local) {
 }
 
 void FileIndex::merge(LocalIndex&& local) {
-  // Reserve with geometric growth so repeated merges stay amortized-linear.
-  const std::size_t needed = blocks_.size() + local.blocks.size();
-  if (needed > blocks_.capacity()) blocks_.reserve(std::max(needed, blocks_.capacity() * 2));
-  blocks_.insert(blocks_.end(), std::make_move_iterator(local.blocks.begin()),
-                 std::make_move_iterator(local.blocks.end()));
-  local.blocks.clear();
+  if (blocks_.empty() && blocks_.capacity() == 0) {
+    // First merge into a fresh index adopts the writer's buffer outright.
+    blocks_ = std::move(local.blocks);
+  } else {
+    // Reserve with geometric growth so repeated merges stay amortized-linear.
+    const std::size_t needed = blocks_.size() + local.blocks.size();
+    if (needed > blocks_.capacity()) blocks_.reserve(std::max(needed, blocks_.capacity() * 2));
+    blocks_.insert(blocks_.end(), std::make_move_iterator(local.blocks.begin()),
+                   std::make_move_iterator(local.blocks.end()));
+  }
+  // Release the source's buffer, not just its contents: at paper scale every
+  // writer holds one of these until its merge, and clear() alone would keep
+  // 224k block buffers resident for the rest of the run.
+  local.blocks = std::vector<BlockRecord>();
 }
 
 void FileIndex::finalize() {

@@ -37,6 +37,26 @@ using GroupId = std::int32_t;  ///< sub-coordinator / output-file index
 /// heap transparently (same wire format either way).
 using Dims = SmallVector<std::uint64_t, 4>;
 
+/// Interned variable names for one run.  Block records carry only a numeric
+/// `var_id`; the table stores each distinct name exactly once and is shared
+/// by pointer (IoJob/IoResult), so a 224k-writer run holds one copy of
+/// "rho"/"px"/... instead of any per-writer or per-block string state.  Not
+/// part of the wire format — indices serialize ids only.
+class VarTable {
+ public:
+  /// Returns the id of `name`, interning it on first sight.
+  std::uint32_t intern(const std::string& name);
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  /// Name for `id`; "?" for ids the run never defined (matching the
+  /// workloads' unknown-variable convention).
+  [[nodiscard]] const std::string& name(std::uint32_t id) const;
+  [[nodiscard]] std::optional<std::uint32_t> find(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;        // id -> name
+  std::vector<std::uint32_t> by_name_;    // indices into names_, sorted by name
+};
+
 /// Statistical fingerprint of one written block.
 struct Characteristics {
   double min = 0.0;
@@ -88,8 +108,14 @@ class FileIndex {
 
   void merge(const LocalIndex& local);
   /// Move-merge: steals the local index's block records (the SC hot path —
-  /// each INDEX_BODY is merged exactly once, so copying is pure waste).
+  /// each INDEX_BODY is merged exactly once, so copying is pure waste) and
+  /// releases the source's buffer.
   void merge(LocalIndex&& local);
+  /// Capacity hint for a merge loop whose total is predictable (an SC expects
+  /// roughly first-index-blocks x members); never shrinks.
+  void reserve_blocks(std::size_t n) {
+    if (n > blocks_.capacity()) blocks_.reserve(n);
+  }
   /// Sorts blocks by file offset; call once after all merges.
   void finalize();
 

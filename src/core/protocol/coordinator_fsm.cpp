@@ -7,21 +7,42 @@ namespace aio::core {
 
 CoordinatorFsm::CoordinatorFsm(Config config) : config_(std::move(config)) {
   if (config_.n_groups == 0) throw std::invalid_argument("CoordinatorFsm: no groups");
-  if (config_.group_sizes.size() != config_.n_groups)
-    throw std::invalid_argument("CoordinatorFsm: group_sizes size mismatch");
+  if (!config_.group_size_of)
+    throw std::invalid_argument("CoordinatorFsm: group_size_of resolver required");
   if (!config_.sc_of) throw std::invalid_argument("CoordinatorFsm: sc_of resolver required");
   sc_states_.assign(config_.n_groups, ScState::Writing);
+  skip_.resize(config_.n_groups);
+  for (std::size_t g = 0; g < config_.n_groups; ++g) skip_[g] = g;
   next_offset_.assign(config_.n_groups, 0.0);
   file_busy_.assign(config_.n_groups, false);
   writes_into_.assign(config_.n_groups, 0);
   stolen_from_.assign(config_.n_groups, 0);
-  global_index_.reserve(config_.n_groups);  // exactly one sub-index per group
+  if (config_.retain_global_index)
+    global_index_.reserve(config_.n_groups);  // exactly one sub-index per group
 }
 
-bool CoordinatorFsm::all_complete() const {
-  for (const ScState s : sc_states_)
-    if (s != ScState::Complete) return false;
-  return true;
+std::size_t CoordinatorFsm::next_writing(std::size_t i) {
+  // SC states only move forward (Writing -> Busy/Complete, never back), so a
+  // group observed non-Writing can be skipped forever: follow/extend skip
+  // pointers to the first Writing group >= i, then point the walked chain at
+  // the answer.  Amortized ~O(1) per grant vs. the old O(n_groups) probe.
+  std::size_t j = i;
+  while (j < config_.n_groups) {
+    if (skip_[j] != j) {
+      j = skip_[j];
+      continue;
+    }
+    if (sc_states_[j] == ScState::Writing) break;
+    skip_[j] = j + 1;
+    ++j;
+  }
+  std::size_t k = i;
+  while (k < j && k < config_.n_groups) {
+    const std::size_t next = skip_[k] == k ? k + 1 : skip_[k];
+    skip_[k] = j;
+    k = next;
+  }
+  return j;
 }
 
 Actions CoordinatorFsm::on_write_complete(const WriteComplete& msg) {
@@ -50,6 +71,7 @@ Actions CoordinatorFsm::on_write_complete(const WriteComplete& msg) {
       if (group >= config_.n_groups || sc_states_[group] == ScState::Complete)
         throw std::logic_error("CoordinatorFsm: duplicate GROUP_WRITE_COMPLETE");
       sc_states_[group] = ScState::Complete;
+      ++n_complete_;
       next_offset_[group] = msg.final_offset;
       request_adaptive(msg.origin_group, out);
       break;
@@ -85,14 +107,14 @@ void CoordinatorFsm::request_adaptive(GroupId target, Actions& out) {
   std::size_t chosen = config_.n_groups;  // sentinel: none
   if (config_.steal_source == StealSource::MostRemaining) {
     // Prefer the source whose queue is (by the coordinator's accounting)
-    // longest: group size minus writers already redirected away.
+    // longest: group size minus writers already redirected away.  Iterating
+    // only the still-Writing groups (ascending, first-maximal wins) matches
+    // the full scan's choice exactly.
     std::size_t best_remaining = 0;
-    for (std::size_t g = 0; g < config_.n_groups; ++g) {
-      if (sc_states_[g] != ScState::Writing) continue;
+    for (std::size_t g = next_writing(0); g < config_.n_groups; g = next_writing(g + 1)) {
+      const std::size_t size = config_.group_size_of(static_cast<GroupId>(g));
       const std::size_t remaining =
-          config_.group_sizes[g] > stolen_from_[g]
-              ? config_.group_sizes[g] - static_cast<std::size_t>(stolen_from_[g])
-              : 0;
+          size > stolen_from_[g] ? size - static_cast<std::size_t>(stolen_from_[g]) : 0;
       if (chosen == config_.n_groups || remaining > best_remaining) {
         chosen = g;
         best_remaining = remaining;
@@ -100,13 +122,14 @@ void CoordinatorFsm::request_adaptive(GroupId target, Actions& out) {
     }
   } else {
     // Round-robin over still-writing SCs spreads the accelerated completion
-    // rather than draining one SC at a time (the paper's choice).
-    for (std::size_t probe = 0; probe < config_.n_groups; ++probe) {
-      const std::size_t candidate = (rr_cursor_ + probe) % config_.n_groups;
-      if (sc_states_[candidate] != ScState::Writing) continue;
+    // rather than draining one SC at a time (the paper's choice).  First
+    // Writing group at or after the cursor, wrapping once — the same pick as
+    // probing every slot in cursor order.
+    std::size_t candidate = next_writing(rr_cursor_);
+    if (candidate == config_.n_groups) candidate = next_writing(0);
+    if (candidate < config_.n_groups) {
       rr_cursor_ = (candidate + 1) % config_.n_groups;
       chosen = candidate;
-      break;
     }
   }
   if (chosen == config_.n_groups) return;  // no writing SC left; file stays idle
@@ -127,7 +150,8 @@ void CoordinatorFsm::check_all_done(Actions& out) {
   // expected block count = local (non-stolen) writers + adaptive arrivals.
   for (std::size_t g = 0; g < config_.n_groups; ++g) {
     OverallWriteComplete msg;
-    msg.expected_indices = config_.group_sizes[g] - stolen_from_[g] + writes_into_[g];
+    msg.expected_indices =
+        config_.group_size_of(static_cast<GroupId>(g)) - stolen_from_[g] + writes_into_[g];
     msg.final_data_offset = next_offset_[g];
     out.push_back(
         SendAction{config_.sc_of(static_cast<GroupId>(g)), Message{config_.rank, msg}});
@@ -138,15 +162,26 @@ Actions CoordinatorFsm::on_sub_index(const SubIndex& msg) {
   if (state_ != State::IndexGathering)
     throw std::logic_error("CoordinatorFsm: SUB_INDEX before OVERALL_WRITE_COMPLETE");
   if (!msg.index) throw std::invalid_argument("CoordinatorFsm: empty SUB_INDEX");
-  // "Gather index pieces; merge into global index" (lines 19-20).  The SC
-  // shipped its only copy, so the block list moves straight in.
-  global_index_.add(std::move(*msg.index));
+  // "Gather index pieces; merge into global index" (lines 19-20).
+  total_blocks_ += msg.index->blocks().size();
+  if (config_.retain_global_index) {
+    // The SC shipped its only copy, so the block list moves straight in.
+    global_index_.add(std::move(*msg.index));
+  } else {
+    // Streamed merge: fold this piece into the running size total (the wire
+    // layout is `8 + sum(8 + file_bytes)`, so the final write is byte-exact)
+    // and drop it.  Peak index memory stays at one sub-index.
+    global_index_bytes_ +=
+        8 + (msg.serialized_bytes != 0 ? msg.serialized_bytes : msg.index->serialized_size());
+  }
   ++sub_indices_received_;
   Actions out;
   if (sub_indices_received_ == config_.n_groups) {
     state_ = State::IndexWriting;
-    out.push_back(
-        WriteGlobalIndexAction{static_cast<double>(global_index_.serialized_size())});
+    const double bytes = config_.retain_global_index
+                             ? static_cast<double>(global_index_.serialized_size())
+                             : static_cast<double>(global_index_bytes_);
+    out.push_back(WriteGlobalIndexAction{bytes});
   }
   return out;
 }

@@ -9,6 +9,17 @@
 // among the sub coordinators").  Once every SC is complete and no grant is
 // outstanding, it broadcasts OVERALL_WRITE_COMPLETE, gathers the per-file
 // indices, merges the global index and writes it.
+//
+// Scale notes (full Jaguar = 672 SCs, 224k writers):
+//  - Group sizes are resolved through a shared callable instead of a copied
+//    vector — topology is arithmetic, not state.
+//  - Grant-source selection runs over a path-compressed skip list of the
+//    still-Writing groups (SC states only move forward), so a grant costs
+//    amortized O(1) instead of O(n_groups).
+//  - With `retain_global_index = false` the global merge streams: each
+//    SUB_INDEX contributes its serialized size and block count to running
+//    totals and is immediately discarded, holding peak index memory at
+//    O(largest sub-index) instead of O(total blocks).
 #pragma once
 
 #include <cstdint>
@@ -30,11 +41,18 @@ class CoordinatorFsm {
 
   struct Config {
     std::size_t n_groups = 0;
-    std::vector<std::size_t> group_sizes;
+    /// Resolves a group's writer count; shared topology arithmetic, not a
+    /// per-coordinator copy.  Must be valid for 0 <= g < n_groups.
+    std::function<std::size_t(GroupId)> group_size_of;
     std::function<Rank(GroupId)> sc_of;
     Rank rank = 0;
     bool stealing_enabled = true;  ///< ablation: disable work redistribution
     StealSource steal_source = StealSource::RoundRobin;
+    /// When false, SUB_INDEX messages are folded into running totals and
+    /// dropped instead of being merged into a retained GlobalIndex.  The
+    /// index write (and its byte count) is identical either way; only the
+    /// in-memory product is skipped.  Paper-scale benches run with false.
+    bool retain_global_index = true;
   };
 
   /// SC states tracked by the coordinator (paper Section III-3): `Writing`
@@ -70,9 +88,12 @@ class CoordinatorFsm {
   [[nodiscard]] std::size_t remaining_writers(GroupId g) const {
     const auto idx = static_cast<std::size_t>(g);
     const std::uint64_t stolen = stolen_from_.at(idx);
-    const std::size_t size = config_.group_sizes.at(idx);
+    const std::size_t size = config_.group_size_of(g);
     return size > stolen ? size - static_cast<std::size_t>(stolen) : 0;
   }
+  /// Blocks indexed across all files — counted in both retain modes.
+  [[nodiscard]] std::uint64_t total_blocks() const { return total_blocks_; }
+  /// Empty when retain_global_index is false.
   [[nodiscard]] const GlobalIndex& global_index() const { return global_index_; }
   /// Relinquishes the merged global index (for a run handing its result to
   /// the caller).  global_index() is empty afterwards; read any statistics
@@ -85,21 +106,28 @@ class CoordinatorFsm {
   void request_adaptive(GroupId target, Actions& out);
   /// Broadcasts OVERALL_WRITE_COMPLETE once everything has finished.
   void check_all_done(Actions& out);
-  [[nodiscard]] bool all_complete() const;
+  [[nodiscard]] bool all_complete() const { return n_complete_ == config_.n_groups; }
+  /// First still-Writing group with index >= i (n_groups if none), with path
+  /// compression over groups that left the Writing state.
+  std::size_t next_writing(std::size_t i);
 
   Config config_;
   State state_ = State::Collecting;
   std::vector<ScState> sc_states_;
+  std::vector<std::size_t> skip_;         // skip pointers for next_writing()
   std::vector<double> next_offset_;       // per file; valid once Complete
   std::vector<bool> file_busy_;           // adaptive write in flight for file
   std::vector<std::uint64_t> writes_into_;   // adaptive writes landed per file
   std::vector<std::uint64_t> stolen_from_;   // writers redirected away per group
   std::size_t outstanding_ = 0;
   std::size_t rr_cursor_ = 0;
+  std::size_t n_complete_ = 0;
   std::uint64_t total_steals_ = 0;
   std::uint64_t grants_issued_ = 0;
 
   GlobalIndex global_index_;
+  std::uint64_t global_index_bytes_ = 8;  ///< magic + file count, streamed total
+  std::uint64_t total_blocks_ = 0;
   std::size_t sub_indices_received_ = 0;
 };
 

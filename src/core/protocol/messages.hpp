@@ -48,8 +48,12 @@ struct WriteComplete {
 };
 
 /// INDEX_BODY: writer -> SC owning the file the data landed in.
+/// Shared non-const for the same reason as SubIndex: the receiving SC is
+/// provably the only consumer after delivery, so it may move the block list
+/// into its file index — the writer's storage is left empty, releasing the
+/// per-writer index memory as soon as it is merged instead of at run end.
 struct IndexBody {
-  std::shared_ptr<const LocalIndex> index;
+  std::shared_ptr<LocalIndex> index;
   /// Cached index->serialized_size(); 0 means "not cached, compute".  The
   /// sender stamps it once so wire_bytes() never re-walks the block list.
   std::uint64_t serialized_bytes = 0;

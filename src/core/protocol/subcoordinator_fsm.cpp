@@ -7,19 +7,18 @@ namespace aio::core {
 
 SubCoordinatorFsm::SubCoordinatorFsm(Config config)
     : config_(std::move(config)),
-      writers_remaining_(config_.members.size()),
+      writers_remaining_(config_.n_members),
       file_index_(config_.group) {
   if (config_.group < 0 || config_.rank < 0)
     throw std::invalid_argument("SubCoordinatorFsm: incomplete config");
-  if (config_.members.empty())
+  if (config_.n_members == 0)
     throw std::invalid_argument("SubCoordinatorFsm: a group needs at least one member");
-  if (config_.members.size() != config_.member_bytes.size())
+  if (config_.n_members != config_.member_bytes.size())
     throw std::invalid_argument("SubCoordinatorFsm: member/bytes size mismatch");
-  if (config_.members.front() != config_.rank)
+  if (config_.first_member != config_.rank)
     throw std::invalid_argument("SubCoordinatorFsm: SC must be its group's first member");
   if (config_.max_concurrent == 0)
     throw std::invalid_argument("SubCoordinatorFsm: max_concurrent must be >= 1");
-  for (std::size_t i = 0; i < config_.members.size(); ++i) waiting_.push_back(i);
 }
 
 Actions SubCoordinatorFsm::start() { return signal_next_writers(); }
@@ -29,13 +28,12 @@ Actions SubCoordinatorFsm::signal_next_writers() {
   // max_concurrent local writes in flight; offsets are assigned lazily so a
   // stolen writer never leaves a hole in this file.
   Actions out;
-  while (active_local_ < config_.max_concurrent && !waiting_.empty()) {
-    const std::size_t member = waiting_.front();
-    waiting_.pop_front();
+  while (active_local_ < config_.max_concurrent && next_waiting_ < config_.n_members) {
+    const std::size_t m = next_waiting_++;
     ++active_local_;
     DoWrite msg{config_.group, local_offset_};
-    local_offset_ += config_.member_bytes[member];
-    out.push_back(SendAction{config_.members[member], Message{config_.rank, msg}});
+    local_offset_ += config_.member_bytes[m];
+    out.push_back(SendAction{member(m), Message{config_.rank, msg}});
   }
   return out;
 }
@@ -87,8 +85,15 @@ Actions SubCoordinatorFsm::on_index_body(const IndexBody& msg) {
   if (!msg.index) throw std::invalid_argument("SubCoordinatorFsm: empty INDEX_BODY");
   if (msg.index->file != config_.group)
     throw std::logic_error("SubCoordinatorFsm: INDEX_BODY for another file");
-  // "Save for index for local file; missing indices--" (lines 16-18).
-  file_index_.merge(*msg.index);
+  // "Save for index for local file; missing indices--" (lines 16-18).  The
+  // SC is the message's only consumer, so the writer's block list moves in —
+  // its memory is recycled here rather than retained until run teardown.
+  file_index_.merge(std::move(*msg.index));
+  // Writers of one group stamp the same blueprint shape, so the first index
+  // sizes the whole merge: one exact reservation instead of log2(members)
+  // reallocations that move every block already merged.
+  if (indices_received_ == 0 && config_.n_members > 1)
+    file_index_.reserve_blocks(file_index_.blocks().size() * config_.n_members);
   ++indices_received_;
   Actions out;
   check_ready_to_index(out);
@@ -97,7 +102,7 @@ Actions SubCoordinatorFsm::on_index_body(const IndexBody& msg) {
 
 Actions SubCoordinatorFsm::on_adaptive_write_start(const AdaptiveWriteStart& msg) {
   Actions out;
-  if (waiting_.empty()) {
+  if (next_waiting_ >= config_.n_members) {
     // "if no waiting writers: send WRITERS_BUSY to C" (lines 21-22).
     out.push_back(SendAction{config_.coordinator,
                              Message{config_.rank, WritersBusy{config_.group, msg.target_file}}});
@@ -105,10 +110,9 @@ Actions SubCoordinatorFsm::on_adaptive_write_start(const AdaptiveWriteStart& msg
   }
   // "Signal writer with new target and offset" (line 24).  The redirected
   // write does not occupy this SC's local in-flight window.
-  const std::size_t member = waiting_.front();
-  waiting_.pop_front();
-  out.push_back(SendAction{config_.members[member],
-                           Message{config_.rank, DoWrite{msg.target_file, msg.offset}}});
+  const std::size_t m = next_waiting_++;
+  out.push_back(
+      SendAction{member(m), Message{config_.rank, DoWrite{msg.target_file, msg.offset}}});
   return out;
 }
 

@@ -14,10 +14,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
-#include <vector>
+#include <span>
 
 #include "core/protocol/actions.hpp"
 
@@ -25,12 +23,18 @@ namespace aio::core {
 
 class SubCoordinatorFsm {
  public:
+  /// Configuration references the run's shared topology/payload arrays
+  /// instead of copying them: groups are contiguous rank ranges, so the
+  /// member list is (first_member .. first_member + n_members), and
+  /// member_bytes is a subspan of the run-owned per-writer payload array.
+  /// The span's backing storage must outlive the FSM.
   struct Config {
     GroupId group = -1;
     Rank rank = -1;
     Rank coordinator = 0;
-    std::vector<Rank> members;         ///< this group's writers, SC first
-    std::vector<double> member_bytes;  ///< per-member payload (registration)
+    Rank first_member = -1;            ///< == rank; members are contiguous
+    std::size_t n_members = 0;         ///< this group's writers, SC first
+    std::span<const double> member_bytes;  ///< per-member payload (registration)
     std::size_t max_concurrent = 1;    ///< local writes in flight (paper: 1)
   };
 
@@ -55,7 +59,7 @@ class SubCoordinatorFsm {
 
   [[nodiscard]] State state() const { return state_; }
   [[nodiscard]] std::size_t writers_remaining() const { return writers_remaining_; }
-  [[nodiscard]] std::size_t waiting() const { return waiting_.size(); }
+  [[nodiscard]] std::size_t waiting() const { return config_.n_members - next_waiting_; }
   [[nodiscard]] double local_offset() const { return local_offset_; }
   [[nodiscard]] std::uint64_t indices_received() const { return indices_received_; }
   [[nodiscard]] std::uint64_t completions_into_file() const { return completions_into_file_; }
@@ -70,10 +74,15 @@ class SubCoordinatorFsm {
  private:
   Actions signal_next_writers();  ///< fill the local in-flight window
   void check_ready_to_index(Actions& out);
+  [[nodiscard]] Rank member(std::size_t i) const {
+    return config_.first_member + static_cast<Rank>(i);
+  }
 
   Config config_;
   State state_ = State::Writing;
-  std::deque<std::size_t> waiting_;  // indices into members
+  // Writers are signalled in member order, so the waiting "queue" is just a
+  // cursor into the contiguous member range — no per-member container.
+  std::size_t next_waiting_ = 0;
   std::size_t active_local_ = 0;
   double local_offset_ = 0.0;
   std::size_t writers_remaining_;

@@ -10,58 +10,17 @@ WriterFsm::WriterFsm(Config config) : config_(std::move(config)) {
     throw std::invalid_argument("WriterFsm: incomplete config");
   if (config_.bytes <= 0.0) throw std::invalid_argument("WriterFsm: bytes must be > 0");
   if (!config_.sc_of) throw std::invalid_argument("WriterFsm: sc_of resolver required");
-  // Allocate the index up front, outside the measured write path.  Its
-  // serialized size depends only on the block shapes, not on the file
-  // offsets stamped later, so it can be cached now too.
-  index_ = std::make_shared<LocalIndex>(config_.blueprint);
-  index_bytes_ = index_->serialized_size();
-}
 
-Actions WriterFsm::on_do_write(const DoWrite& msg) {
-  if (state_ != State::Idle)
-    throw std::logic_error("WriterFsm: DO_WRITE received while not idle");
-  state_ = State::Writing;
-  target_ = msg.target_file;
-  offset_ = msg.offset;
-
-  // "Build local index based on offset": stamp the pre-allocated blueprint
-  // copy with its final file locations — no allocation on this path.
-  index_->writer = config_.rank;
-  index_->file = target_;
-  std::uint64_t cursor = static_cast<std::uint64_t>(msg.offset);
-  for (auto& block : index_->blocks) {
-    block.writer = config_.rank;
-    block.file_offset = cursor;
-    cursor += block.length;
-  }
-
-  return {StartWriteAction{target_, offset_, config_.bytes}};
-}
-
-Actions WriterFsm::on_write_done() {
-  if (state_ != State::Writing)
-    throw std::logic_error("WriterFsm: write completion while not writing");
-  state_ = State::Done;
-
-  const Rank target_sc = config_.sc_of(target_);
-  const double index_bytes = static_cast<double>(index_bytes_);
-
-  WriteComplete done;
-  done.kind = WriteComplete::Kind::WriterDone;
-  done.writer = config_.rank;
-  done.origin_group = config_.group;
-  done.file = target_;
-  done.bytes = config_.bytes;
-  done.index_bytes = index_bytes;
-
-  Actions actions;
-  actions.push_back(SendAction{config_.my_sc, Message{config_.rank, done}});
-  if (target_sc != config_.my_sc) {
-    actions.push_back(SendAction{target_sc, Message{config_.rank, done}});
-  }
-  actions.push_back(SendAction{target_sc, Message{config_.rank, IndexBody{index_, index_bytes_}}});
-  actions.push_back(RoleDoneAction{});
-  return actions;
+  WriterPool::Layout layout;
+  layout.first_rank = config_.rank;
+  layout.group_of = [group = config_.group](Rank) { return group; };
+  // my_sc takes precedence for the home group: a test may wire an sc_of that
+  // only resolves remote targets.
+  layout.sc_of = [group = config_.group, my_sc = config_.my_sc,
+                  sc_of = config_.sc_of](GroupId g) { return g == group ? my_sc : sc_of(g); };
+  layout.bytes = std::span<const double>(&config_.bytes, 1);
+  pool_ = std::make_unique<WriterPool>(
+      std::move(layout), [this](Rank) { return config_.blueprint; });
 }
 
 }  // namespace aio::core

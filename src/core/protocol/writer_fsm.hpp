@@ -10,12 +10,18 @@
 //
 // Index metadata is shipped *after* the data write completes so the transfer
 // overlaps the next writer's data write (paper Section III-1).
+//
+// The transition logic lives in WriterPool (writer_pool.hpp), which hosts
+// every writer of an adaptive run in dense struct-of-arrays storage.
+// WriterFsm is a single-slot pool: the object-per-writer surface unit tests
+// and the thread runtime build directly, guaranteed to behave bit-for-bit
+// like a pooled writer because it *is* one.
 #pragma once
 
 #include <functional>
 #include <memory>
 
-#include "core/protocol/actions.hpp"
+#include "core/protocol/writer_pool.hpp"
 
 namespace aio::core {
 
@@ -32,31 +38,30 @@ class WriterFsm {
     std::function<Rank(GroupId)> sc_of;  ///< group -> SC rank
   };
 
-  enum class State { Idle, Writing, Done };
+  using State = WriterPool::State;
 
   explicit WriterFsm(Config config);
+  // The pool's layout spans this object's members; relocation would leave
+  // it dangling, and no caller needs it (FSMs are built in place).
+  WriterFsm(const WriterFsm&) = delete;
+  WriterFsm& operator=(const WriterFsm&) = delete;
 
   /// Algorithm 1, lines 1-3.
-  Actions on_do_write(const DoWrite& msg);
+  Actions on_do_write(const DoWrite& msg) { return pool_->on_do_write(config_.rank, msg); }
   /// Algorithm 1, lines 4-8 (runtime reports the data write finished).
-  Actions on_write_done();
+  Actions on_write_done() { return pool_->on_write_done(config_.rank); }
 
-  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] State state() const { return pool_->state(config_.rank); }
   [[nodiscard]] const Config& config() const { return config_; }
   /// The index built for the current write (valid once Writing).
-  [[nodiscard]] std::shared_ptr<const LocalIndex> local_index() const { return index_; }
-  [[nodiscard]] bool wrote_adaptively() const { return target_ != config_.group; }
+  [[nodiscard]] std::shared_ptr<const LocalIndex> local_index() const {
+    return pool_->local_index(config_.rank);
+  }
+  [[nodiscard]] bool wrote_adaptively() const { return pool_->wrote_adaptively(config_.rank); }
 
  private:
   Config config_;
-  State state_ = State::Idle;
-  GroupId target_ = -1;
-  double offset_ = 0.0;
-  /// Allocated once at construction (a copy of the blueprint); on_do_write
-  /// stamps file locations in place.  Safe because the state machine allows
-  /// exactly one write per FSM instance — the index is never rebuilt.
-  std::shared_ptr<LocalIndex> index_;
-  std::uint64_t index_bytes_ = 0;  ///< cached serialized size (offset-independent)
+  std::unique_ptr<WriterPool> pool_;  ///< single-slot pool over config_
 };
 
 }  // namespace aio::core

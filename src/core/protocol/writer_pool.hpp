@@ -1,0 +1,86 @@
+// Pooled storage for the writer role (paper Algorithm 1) at machine scale.
+//
+// A full-Jaguar run hosts 224,160 writers next to a few hundred SCs and one
+// coordinator.  Storing each writer as its own FSM object — private config
+// copy, private sc_of resolver, heap-allocated local index — costs kilobytes
+// per rank before the first message moves, which is what kept the benches
+// two orders of magnitude below the paper's machine.  WriterPool keeps the
+// ~4 scalar fields of per-writer state in dense struct-of-arrays columns and
+// resolves everything static (group, SC rank, payload bytes) through one
+// shared Layout, so adding a writer costs ~13 bytes of pool state plus its
+// local index blocks.
+//
+// The per-writer local indices live in one contiguous vector owned by a
+// shared_ptr'd store; INDEX_BODY messages alias into it (no per-message
+// control block), and the receiving SC *moves* the block list out — each
+// writer's index memory is released as soon as it is merged, not at run
+// teardown.
+//
+// WriterFsm (writer_fsm.hpp) is a single-slot view over this pool: same
+// transition code, object-per-writer convenience for unit tests and the
+// thread runtime.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/protocol/actions.hpp"
+
+namespace aio::core {
+
+class WriterPool {
+ public:
+  /// Static per-writer attributes, resolved through shared providers
+  /// instead of being copied into every writer.  The spans/callables must
+  /// outlive the pool (the runtimes own the backing storage per run).
+  struct Layout {
+    Rank first_rank = 0;  ///< pool slot i hosts rank first_rank + i
+    std::function<GroupId(Rank)> group_of;  ///< rank -> home group
+    std::function<Rank(GroupId)> sc_of;     ///< group -> SC rank
+    std::span<const double> bytes;          ///< payload of slot i's writer
+  };
+
+  enum class State : std::uint8_t { Idle, Writing, Done };
+
+  /// Builds `layout.bytes.size()` writers; `blueprint_for` is invoked once
+  /// per rank (construction-time only) and its result moved into the pool.
+  WriterPool(Layout layout, const std::function<LocalIndex(Rank)>& blueprint_for);
+
+  /// Algorithm 1, lines 1-3, for the writer on `rank`.
+  Actions on_do_write(Rank rank, const DoWrite& msg);
+  /// Algorithm 1, lines 4-8 (runtime reports the data write finished).
+  Actions on_write_done(Rank rank);
+
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+  [[nodiscard]] State state(Rank rank) const { return states_[slot(rank)]; }
+  [[nodiscard]] bool wrote_adaptively(Rank rank) const {
+    return targets_[slot(rank)] != layout_.group_of(rank);
+  }
+  /// The index built for `rank`'s write (stamped once Writing; its blocks
+  /// move into the owning SC's file index when the INDEX_BODY is merged).
+  [[nodiscard]] std::shared_ptr<LocalIndex> local_index(Rank rank) const {
+    return {store_, &store_->indices[slot(rank)]};
+  }
+  [[nodiscard]] const Layout& layout() const { return layout_; }
+
+ private:
+  [[nodiscard]] std::size_t slot(Rank rank) const {
+    return static_cast<std::size_t>(rank - layout_.first_rank);
+  }
+
+  /// Aliased by every in-flight INDEX_BODY: one control block for the whole
+  /// pool instead of one heap allocation per writer.
+  struct Store {
+    std::vector<LocalIndex> indices;
+  };
+
+  Layout layout_;
+  std::vector<State> states_;
+  std::vector<GroupId> targets_;           ///< file each writer was sent to
+  std::vector<std::uint64_t> index_bytes_; ///< cached serialized index sizes
+  std::shared_ptr<Store> store_;
+};
+
+}  // namespace aio::core

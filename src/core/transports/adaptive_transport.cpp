@@ -8,7 +8,7 @@
 
 #include "core/protocol/coordinator_fsm.hpp"
 #include "core/protocol/subcoordinator_fsm.hpp"
-#include "core/protocol/writer_fsm.hpp"
+#include "core/protocol/writer_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -16,13 +16,15 @@ namespace aio::core {
 
 namespace {
 
-struct RankActor {
-  std::optional<WriterFsm> writer;
-  std::optional<SubCoordinatorFsm> sc;
-  std::optional<CoordinatorFsm> coord;
-};
-
 /// Per-run state; kept alive by the callbacks that reference it.
+///
+/// Roles live in role-segregated storage sized to the role populations — a
+/// dense WriterPool for the n writers, one SubCoordinatorFsm per group, one
+/// coordinator — instead of a per-rank actor struct.  At full Jaguar scale
+/// (224,160 ranks) the per-rank layout spent kilobytes per rank on FSM
+/// configs (member vectors, resolver copies, optional<> slots for roles the
+/// rank never plays); the pooled layout keeps per-writer state to a few
+/// scalars plus the writer's own index blocks.
 struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
   fs::FileSystem& fs;
   net::Network& net;
@@ -32,7 +34,13 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
 
   std::vector<fs::StripedFile*> files;  // one per group
   fs::StripedFile* master = nullptr;    // global index file
-  std::vector<RankActor> actors;
+
+  /// The run's single owned copy of per-writer payload sizes; the writer
+  /// pool and every SC config view subranges of it.
+  std::vector<double> bytes_per_writer;
+  std::optional<WriterPool> writers;
+  std::vector<SubCoordinatorFsm> scs;  // indexed by group
+  std::optional<CoordinatorFsm> coord;
 
   IoResult result;
   std::function<void(IoResult)> on_done;
@@ -61,6 +69,10 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
   void trace_steal_grant(const SendAction& send);
   void trace_steal_complete(const WriteComplete& msg);
 
+  [[nodiscard]] SubCoordinatorFsm& sc_at(Rank rank) {
+    return scs[static_cast<std::size_t>(topo.group_of(rank))];
+  }
+
   /// Scratch action list reused across deliveries.  Steady-state steps fit
   /// the SmallVector's inline slots; the rare overflow (the coordinator's
   /// final broadcast) leaves its heap block here for the rest of the run
@@ -76,51 +88,46 @@ void AdaptiveRun::begin(const IoJob& job) {
   result.transport = "Adaptive";
   result.t_begin = fs.engine().now();
   result.total_bytes = job.total_bytes();
+  result.var_names = job.var_names;
   result.writer_times.resize(n);
   roles_remaining = n + g + 1;  // writers + SCs + coordinator
 
+  bytes_per_writer = job.bytes_per_writer;
+  const std::span<const double> all_bytes{bytes_per_writer};
   const auto sc_of = [topo = topo](GroupId grp) { return topo.sc_rank(grp); };
 
-  actors.reserve(n);
-  actors.resize(n);
-  for (Rank r = 0; r < static_cast<Rank>(n); ++r) {
-    const GroupId grp = topo.group_of(r);
-    WriterFsm::Config wc;
-    wc.rank = r;
-    wc.group = grp;
-    wc.my_sc = topo.sc_rank(grp);
-    wc.bytes = job.bytes_per_writer[static_cast<std::size_t>(r)];
-    wc.blueprint = job.blueprint_for(r);
-    wc.sc_of = sc_of;
-    actors[static_cast<std::size_t>(r)].writer.emplace(std::move(wc));
+  {
+    WriterPool::Layout layout;
+    layout.first_rank = 0;
+    layout.group_of = [topo = topo](Rank r) { return topo.group_of(r); };
+    layout.sc_of = sc_of;
+    layout.bytes = all_bytes;
+    writers.emplace(std::move(layout), [&job](Rank r) { return job.blueprint_for(r); });
   }
+  scs.reserve(g);
   for (GroupId grp = 0; grp < static_cast<GroupId>(g); ++grp) {
     SubCoordinatorFsm::Config sc;
     sc.group = grp;
     sc.rank = topo.sc_rank(grp);
     sc.coordinator = Topology::coordinator_rank();
-    const Rank begin_rank = topo.group_begin(grp);
-    sc.members.reserve(topo.group_size(grp));
-    sc.member_bytes.reserve(topo.group_size(grp));
-    for (std::size_t i = 0; i < topo.group_size(grp); ++i) {
-      sc.members.push_back(begin_rank + static_cast<Rank>(i));
-      sc.member_bytes.push_back(job.bytes_per_writer[static_cast<std::size_t>(begin_rank) + i]);
-    }
+    sc.first_member = topo.group_begin(grp);
+    sc.n_members = topo.group_size(grp);
+    sc.member_bytes =
+        all_bytes.subspan(static_cast<std::size_t>(sc.first_member), sc.n_members);
     sc.max_concurrent = cfg.max_concurrent;
-    actors[static_cast<std::size_t>(sc.rank)].sc.emplace(std::move(sc));
+    scs.emplace_back(std::move(sc));
   }
   {
     CoordinatorFsm::Config cc;
     cc.n_groups = g;
-    cc.group_sizes.reserve(g);
-    for (GroupId grp = 0; grp < static_cast<GroupId>(g); ++grp)
-      cc.group_sizes.push_back(topo.group_size(grp));
+    cc.group_size_of = [topo = topo](GroupId grp) { return topo.group_size(grp); };
     cc.sc_of = sc_of;
     cc.rank = Topology::coordinator_rank();
     cc.stealing_enabled = cfg.stealing;
     cc.steal_source = cfg.steal_most_remaining ? CoordinatorFsm::StealSource::MostRemaining
                                                : CoordinatorFsm::StealSource::RoundRobin;
-    actors[0].coord.emplace(std::move(cc));
+    cc.retain_global_index = cfg.retain_global_index;
+    coord.emplace(std::move(cc));
   }
 
   // --- file creation --------------------------------------------------------
@@ -165,8 +172,7 @@ void AdaptiveRun::begin(const IoJob& job) {
 
 void AdaptiveRun::start_protocol() {
   for (GroupId grp = 0; grp < static_cast<GroupId>(topo.n_groups()); ++grp) {
-    const Rank sc_rank = topo.sc_rank(grp);
-    execute(sc_rank, actors[static_cast<std::size_t>(sc_rank)].sc->start());
+    execute(topo.sc_rank(grp), scs[static_cast<std::size_t>(grp)].start());
   }
 }
 
@@ -178,7 +184,6 @@ void AdaptiveRun::trace_steal_grant(const SendAction& send) {
   if (!grant) return;
   if (metrics) metrics->counter("protocol.steal_grants").add();
   if (!trace) return;
-  const CoordinatorFsm& coord = *actors[0].coord;
   const GroupId source = topo.group_of(send.to);
   trace->instant(
       obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(send.to),
@@ -187,15 +192,14 @@ void AdaptiveRun::trace_steal_grant(const SendAction& send) {
        {"target_file", obs::Json(static_cast<double>(grant->target_file))},
        {"offset", obs::Json(grant->offset)},
        {"source_queue_depth",
-        obs::Json(static_cast<double>(coord.remaining_writers(source)))},
+        obs::Json(static_cast<double>(coord->remaining_writers(source)))},
        {"target_writes_into",
-        obs::Json(static_cast<double>(coord.writes_into(grant->target_file)))}});
+        obs::Json(static_cast<double>(coord->writes_into(grant->target_file)))}});
 }
 
 void AdaptiveRun::trace_steal_complete(const WriteComplete& msg) {
   if (metrics) metrics->counter("protocol.steals").add();
   if (!trace) return;
-  const CoordinatorFsm& coord = *actors[0].coord;
   trace->instant(
       obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(msg.writer),
       fs.engine().now(), "steal.complete",
@@ -204,9 +208,9 @@ void AdaptiveRun::trace_steal_complete(const WriteComplete& msg) {
        {"target_file", obs::Json(static_cast<double>(msg.file))},
        {"bytes", obs::Json(msg.bytes)},
        {"source_queue_depth",
-        obs::Json(static_cast<double>(coord.remaining_writers(msg.origin_group)))},
+        obs::Json(static_cast<double>(coord->remaining_writers(msg.origin_group)))},
        {"target_writes_into",
-        obs::Json(static_cast<double>(coord.writes_into(msg.file)))}});
+        obs::Json(static_cast<double>(coord->writes_into(msg.file)))}});
 }
 
 void AdaptiveRun::deliver(Rank to, const Message& msg) {
@@ -224,25 +228,27 @@ void AdaptiveRun::deliver(Rank to, const Message& msg) {
       wc && wc->kind == WriteComplete::Kind::AdaptiveDone && (trace || metrics)) {
     trace_steal_complete(*wc);
   }
-  RankActor& actor = actors.at(static_cast<std::size_t>(to));
+  // Route by message type + destination role: writers get DO_WRITE, the
+  // destination rank's SC gets file traffic, the coordinator the rest.
   struct Visitor {
-    RankActor& actor;
-    Actions operator()(const DoWrite& m) { return actor.writer->on_do_write(m); }
+    AdaptiveRun& run;
+    Rank to;
+    Actions operator()(const DoWrite& m) { return run.writers->on_do_write(to, m); }
     Actions operator()(const WriteComplete& m) {
-      if (m.kind == WriteComplete::Kind::WriterDone) return actor.sc->on_write_complete(m);
-      return actor.coord->on_write_complete(m);
+      if (m.kind == WriteComplete::Kind::WriterDone) return run.sc_at(to).on_write_complete(m);
+      return run.coord->on_write_complete(m);
     }
-    Actions operator()(const IndexBody& m) { return actor.sc->on_index_body(m); }
+    Actions operator()(const IndexBody& m) { return run.sc_at(to).on_index_body(m); }
     Actions operator()(const AdaptiveWriteStart& m) {
-      return actor.sc->on_adaptive_write_start(m);
+      return run.sc_at(to).on_adaptive_write_start(m);
     }
-    Actions operator()(const WritersBusy& m) { return actor.coord->on_writers_busy(m); }
+    Actions operator()(const WritersBusy& m) { return run.coord->on_writers_busy(m); }
     Actions operator()(const OverallWriteComplete& m) {
-      return actor.sc->on_overall_write_complete(m);
+      return run.sc_at(to).on_overall_write_complete(m);
     }
-    Actions operator()(const SubIndex& m) { return actor.coord->on_sub_index(m); }
+    Actions operator()(const SubIndex& m) { return run.coord->on_sub_index(m); }
   };
-  Actions produced = std::visit(Visitor{actor}, msg.body);
+  Actions produced = std::visit(Visitor{*this, to}, msg.body);
   scratch_.clear();
   scratch_.append(std::move(produced));
   execute(to, scratch_);
@@ -275,8 +281,7 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
               self->trace->end(obs::kCatProtocol, obs::kPidProtocol,
                                static_cast<std::uint32_t>(from), now);
             }
-            self->execute(
-                from, self->actors[static_cast<std::size_t>(from)].writer->on_write_done());
+            self->execute(from, self->writers->on_write_done(from));
           });
     } else if (const auto* widx = std::get_if<WriteIndexAction>(&action)) {
       if (trace) {
@@ -291,8 +296,7 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
               self->trace->end(obs::kCatProtocol, obs::kPidProtocol,
                                static_cast<std::uint32_t>(from), now);
             }
-            self->execute(from,
-                          self->actors[static_cast<std::size_t>(from)].sc->on_index_write_done());
+            self->execute(from, self->sc_at(from).on_index_write_done());
           });
     } else if (const auto* gidx = std::get_if<WriteGlobalIndexAction>(&action)) {
       if (trace) {
@@ -305,8 +309,7 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
           self->trace->end(obs::kCatProtocol, obs::kPidProtocol,
                            static_cast<std::uint32_t>(from), now);
         }
-        self->execute(
-            from, self->actors[static_cast<std::size_t>(from)].coord->on_global_index_write_done());
+        self->execute(from, self->coord->on_global_index_write_done());
       });
     } else if (std::get_if<RoleDoneAction>(&action)) {
       if (roles_remaining == 0) throw std::logic_error("AdaptiveRun: role overcompletion");
@@ -317,18 +320,17 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
 
 void AdaptiveRun::all_roles_done() {
   result.t_data_done = fs.engine().now();
-  CoordinatorFsm& coord = *actors[0].coord;
-  result.steals = coord.total_steals();
-  result.grants_issued = coord.grants_issued();
+  result.steals = coord->total_steals();
+  result.grants_issued = coord->grants_issued();
   if (metrics) {
     metrics->counter("protocol.runs").add();
     metrics->gauge("protocol.last_steals").set(static_cast<double>(result.steals));
     metrics->gauge("protocol.last_grants").set(static_cast<double>(result.grants_issued));
   }
-  // Read the block count before taking: take_global_index() empties the
-  // coordinator's copy.
-  result.total_blocks_indexed = coord.global_index().total_blocks();
-  result.global_index = std::make_shared<GlobalIndex>(coord.take_global_index());
+  result.total_blocks_indexed = coord->total_blocks();
+  if (cfg.retain_global_index) {
+    result.global_index = std::make_shared<GlobalIndex>(coord->take_global_index());
+  }
   result.output_files = files;
   result.master_file = master;
 

@@ -36,6 +36,10 @@ class AdaptiveTransport final : public Transport {
     OpenMode open_mode = OpenMode::Skip;
     double stagger_gap_s = 0.002;
     bool close_via_mds = true;
+    /// When false, the coordinator streams the global merge (running totals
+    /// only) and IoResult::global_index stays null — peak index memory drops
+    /// to O(largest sub-index).  Keep true when read-back is needed.
+    bool retain_global_index = true;
   };
 
   AdaptiveTransport(fs::FileSystem& fs, net::Network& net, Config config)

@@ -25,6 +25,9 @@ struct IoJob {
   /// (file offsets unset).  Defaults to one anonymous block of the full
   /// payload.
   std::function<LocalIndex(Rank)> blueprint;
+  /// Names of the var_ids the blueprints reference, interned once for the
+  /// whole run and shared by pointer (null = anonymous variables).
+  std::shared_ptr<const VarTable> var_names;
 
   [[nodiscard]] std::size_t n_writers() const { return bytes_per_writer.size(); }
   [[nodiscard]] double total_bytes() const;
@@ -58,6 +61,8 @@ struct IoResult {
   /// The merged master index and the files it refers to — everything a
   /// consumer needs for read-back (see core/transports/readback.hpp).
   std::shared_ptr<const GlobalIndex> global_index;
+  /// The job's interned variable names (shared, never copied per run).
+  std::shared_ptr<const VarTable> var_names;
   std::vector<fs::StripedFile*> output_files;
   fs::StripedFile* master_file = nullptr;
 

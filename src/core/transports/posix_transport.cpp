@@ -24,6 +24,7 @@ void PosixTransport::run(const IoJob& job, std::function<void(IoResult)> on_done
   state->result.t_begin = fs_.engine().now();
   state->result.t_open_done = state->result.t_begin;  // opens excluded
   state->result.total_bytes = job.total_bytes();
+  state->result.var_names = job.var_names;
   state->result.writer_times.resize(job.n_writers());
   state->remaining = job.n_writers();
   state->on_done = std::move(on_done);

@@ -113,6 +113,16 @@ bool Ost::abort(OpId id) {
 
 void Ost::set_fabric_factor(double factor) {
   if (factor < 0.0) throw std::invalid_argument("Ost: negative fabric factor");
+  // The fabric factor only feeds ingest shares (net_total in recompute).
+  // With no stream mid-ingest — was_active_ is exactly "n_ingest > 0 at the
+  // last recompute", and ingest can't restart without a recompute — rates,
+  // the pending transition time, and the activity state are all invariant
+  // under a factor change, so the governor's broadcast can store the factor
+  // and skip the advance/recompute/reschedule for this OST entirely.
+  if (!was_active_) {
+    fabric_factor_ = factor;
+    return;
+  }
   advance();
   fabric_factor_ = factor;
   recompute();

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <thread>
 
@@ -92,6 +93,9 @@ class DataFile {
 struct SharedState {
   Topology topo;
   ThreadRunConfig cfg;
+  /// Shared per-writer payload sizes; SC configs view subranges instead of
+  /// copying their member lists (written once before threads launch).
+  std::vector<double> bytes;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   std::vector<std::unique_ptr<DataFile>> files;  // one per group
   std::atomic<std::size_t> roles_remaining;
@@ -151,19 +155,17 @@ class RankThread {
       sc.group = group;
       sc.rank = rank;
       sc.coordinator = Topology::coordinator_rank();
-      for (std::size_t i = 0; i < shared_.topo.group_size(group); ++i) {
-        const Rank member = shared_.topo.group_begin(group) + static_cast<Rank>(i);
-        sc.members.push_back(member);
-        sc.member_bytes.push_back(job.bytes_per_writer[static_cast<std::size_t>(member)]);
-      }
+      sc.first_member = shared_.topo.group_begin(group);
+      sc.n_members = shared_.topo.group_size(group);
+      sc.member_bytes = std::span<const double>(shared_.bytes)
+                            .subspan(static_cast<std::size_t>(sc.first_member), sc.n_members);
       sc.max_concurrent = shared_.cfg.max_concurrent;
       sc_.emplace(std::move(sc));
     }
     if (rank == Topology::coordinator_rank()) {
       CoordinatorFsm::Config cc;
       cc.n_groups = shared_.topo.n_groups();
-      for (GroupId g = 0; g < static_cast<GroupId>(shared_.topo.n_groups()); ++g)
-        cc.group_sizes.push_back(shared_.topo.group_size(g));
+      cc.group_size_of = [topo = shared_.topo](GroupId g) { return topo.group_size(g); };
       cc.sc_of = sc_of;
       cc.stealing_enabled = shared_.cfg.stealing;
       coord_.emplace(std::move(cc));
@@ -282,7 +284,9 @@ class RankThread {
                shared_.wall(), "global_index_write");
     }
     const std::lock_guard<std::mutex> lock(shared_.result_mu);
-    shared_.global_index = coord_->global_index();
+    // The coordinator is done with its copy; move it out instead of
+    // duplicating every block record at the peak-memory moment of the run.
+    shared_.global_index = coord_->take_global_index();
     shared_.steals = coord_->total_steals();
     const auto bytes = shared_.global_index.serialize();
     DataFile master(shared_.cfg.directory / "master.aidx");
@@ -317,6 +321,7 @@ ThreadRunResult run_threaded(const core::IoJob& job, const ThreadRunConfig& conf
 
   const std::size_t n_files = std::min(std::max<std::size_t>(config.n_files, 1), job.n_writers());
   SharedState shared(core::Topology(job.n_writers(), n_files), config);
+  shared.bytes = job.bytes_per_writer;
   shared.mailboxes.reserve(job.n_writers());
   for (std::size_t r = 0; r < job.n_writers(); ++r)
     shared.mailboxes.push_back(std::make_unique<Mailbox>());

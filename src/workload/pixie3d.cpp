@@ -38,6 +38,9 @@ core::IoJob pixie3d_job(const Pixie3dConfig& config, std::size_t n_procs) {
 
   core::IoJob job;
   job.bytes_per_writer.assign(n_procs, config.bytes_per_process());
+  auto vars = std::make_shared<core::VarTable>();
+  for (std::uint32_t v = 0; v < 8; ++v) vars->intern(pixie3d_var_name(v));
+  job.var_names = std::move(vars);
   job.blueprint = [grid, cube, per_var_bytes](core::Rank r) {
     const auto rank = static_cast<std::size_t>(r);
     const std::size_t ix = rank % grid[0];
@@ -45,6 +48,7 @@ core::IoJob pixie3d_job(const Pixie3dConfig& config, std::size_t n_procs) {
     const std::size_t iz = rank / (grid[0] * grid[1]);
     core::LocalIndex idx;
     idx.writer = r;
+    idx.blocks.reserve(8);
     for (std::uint32_t v = 0; v < 8; ++v) {
       core::BlockRecord b;
       b.writer = r;

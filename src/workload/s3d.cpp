@@ -24,6 +24,7 @@ core::IoJob s3d_job(const S3dConfig& config, std::size_t n_procs) {
     const std::size_t iz = rank / (grid[0] * grid[1]);
     core::LocalIndex idx;
     idx.writer = r;
+    idx.blocks.reserve(n_fields);
     for (std::uint32_t f = 0; f < n_fields; ++f) {
       core::BlockRecord b;
       b.writer = r;

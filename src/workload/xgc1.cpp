@@ -26,6 +26,7 @@ core::IoJob xgc1_job(const Xgc1Config& config, std::size_t n_procs) {
     const auto rank = static_cast<std::uint64_t>(r);
     core::LocalIndex idx;
     idx.writer = r;
+    idx.blocks.reserve(2);
 
     core::BlockRecord particles;
     particles.writer = r;

@@ -28,6 +28,9 @@
 #include "core/protocol/coordinator_fsm.hpp"
 #include "core/protocol/subcoordinator_fsm.hpp"
 #include "core/protocol/writer_fsm.hpp"
+#include "core/transports/adaptive_transport.hpp"
+#include "core/transports/layout.hpp"
+#include "fs/filesystem.hpp"
 #include "fs/ost.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -187,12 +190,14 @@ TEST(AllocGuard, WriterStepsAreAllocationFree) {
 }
 
 TEST(AllocGuard, SubCoordinatorControlStepsAreAllocationFree) {
+  static const double kMemberBytes[4] = {1000.0, 1000.0, 1000.0, 1000.0};
   SubCoordinatorFsm::Config c;
   c.group = 0;
   c.rank = 0;
   c.coordinator = 0;
-  c.members = {0, 1, 2, 3};
-  c.member_bytes = {1000.0, 1000.0, 1000.0, 1000.0};
+  c.first_member = 0;
+  c.n_members = 4;
+  c.member_bytes = kMemberBytes;
   SubCoordinatorFsm sc(c);
   const Actions first = sc.start();
   ASSERT_EQ(first.size(), 1u);
@@ -218,7 +223,7 @@ TEST(AllocGuard, StealGrantPathIsAllocationFree) {
   // refilled from group 0 — the adaptive-write steal cycle of Algorithm 3.
   CoordinatorFsm::Config cc;
   cc.n_groups = 2;
-  cc.group_sizes = {4, 4};
+  cc.group_size_of = [](GroupId) { return std::size_t{4}; };
   cc.sc_of = sc_of;
   CoordinatorFsm coord(cc);
 
@@ -231,12 +236,14 @@ TEST(AllocGuard, StealGrantPathIsAllocationFree) {
   ASSERT_EQ(grant0.size(), 1u);  // first steal grant issued
 
   // The SC side of a grant: redirect one waiting writer.
+  static const double kMemberBytes[4] = {1000.0, 1000.0, 1000.0, 1000.0};
   SubCoordinatorFsm::Config scc;
   scc.group = 0;
   scc.rank = 0;
   scc.coordinator = 0;
-  scc.members = {0, 1, 2, 3};
-  scc.member_bytes = {1000.0, 1000.0, 1000.0, 1000.0};
+  scc.first_member = 0;
+  scc.n_members = 4;
+  scc.member_bytes = kMemberBytes;
   SubCoordinatorFsm sc(scc);
   (void)sc.start();
 
@@ -264,6 +271,45 @@ TEST(AllocGuard, StealGrantPathIsAllocationFree) {
   const Actions decline = coord.on_writers_busy(WritersBusy{0, 1});
   EXPECT_EQ(guard.stop(), 0u) << "WRITERS_BUSY handling allocated";
   (void)decline;
+}
+
+// --- adaptive run setup ------------------------------------------------------
+
+// Setup cost must scale like O(writers + groups) with a small per-writer
+// constant: the pooled writer storage allocates each writer's blueprint (one
+// block vector) plus amortized column growth, and nothing else.  The
+// per-rank-actor layout this replaced paid several allocations per writer
+// (FSM config copies, per-writer shared_ptr control blocks, resolver
+// copies); a regression back to that shape trips the slope bound.
+TEST(AllocGuard, AdaptiveRunSetupAllocsScaleLinearly) {
+  const auto setup_allocs = [](std::size_t n_writers) {
+    sim::Engine engine;
+    fs::FsConfig fc;
+    fc.n_osts = 16;
+    fs::FileSystem filesystem(engine, fc);
+    net::Network network(engine, net::NetConfig{}, n_writers);
+    core::AdaptiveTransport::Config cfg;
+    cfg.n_files = 16;
+    core::AdaptiveTransport transport(filesystem, network, cfg);
+    const core::IoJob job = core::IoJob::uniform(n_writers, 1e6);
+    bool done = false;
+
+    AllocGuard guard;
+    guard.start();
+    transport.run(job, [&done](core::IoResult) { done = true; });
+    const std::size_t allocs = guard.stop();
+    engine.run();  // drain so the run completes and tears down cleanly
+    EXPECT_TRUE(done);
+    return allocs;
+  };
+
+  const std::size_t n1 = 1024, n2 = 4096;
+  const std::size_t a1 = setup_allocs(n1);
+  const std::size_t a2 = setup_allocs(n2);
+  ASSERT_GT(a2, a1);
+  const std::size_t per_writer = (a2 - a1) / (n2 - n1);
+  EXPECT_LE(per_writer, 4u) << "adaptive begin() allocates " << per_writer
+                            << " times per writer (a1=" << a1 << ", a2=" << a2 << ")";
 }
 
 }  // namespace

@@ -260,4 +260,37 @@ TEST_P(IndexRoundTrip, LocalIndexWithNBlocks) {
 
 INSTANTIATE_TEST_SUITE_P(BlockCounts, IndexRoundTrip, ::testing::Values(0, 1, 2, 8, 64, 512));
 
+TEST(VarTable, InternAssignsSequentialIdsAndDeduplicates) {
+  VarTable vars;
+  EXPECT_EQ(vars.intern("rho"), 0u);
+  EXPECT_EQ(vars.intern("px"), 1u);
+  EXPECT_EQ(vars.intern("temp"), 2u);
+  EXPECT_EQ(vars.intern("px"), 1u);  // second sight: same id, no growth
+  EXPECT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars.name(0), "rho");
+  EXPECT_EQ(vars.name(2), "temp");
+}
+
+TEST(VarTable, FindLooksUpByNameAndUnknownIdIsQuestionMark) {
+  VarTable vars;
+  vars.intern("bx");
+  vars.intern("by");
+  ASSERT_TRUE(vars.find("by").has_value());
+  EXPECT_EQ(*vars.find("by"), 1u);
+  EXPECT_FALSE(vars.find("bz").has_value());
+  EXPECT_EQ(vars.name(99), "?");
+}
+
+TEST(VarTable, HandlesManyNamesWithBinarySearchOrdering) {
+  VarTable vars;
+  // Insert in non-sorted order so the by-name index actually has to work.
+  const char* const names[] = {"zeta", "alpha", "mid", "beta", "omega"};
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(vars.intern(names[i]), i);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(vars.find(names[i]).has_value()) << names[i];
+    EXPECT_EQ(*vars.find(names[i]), i);
+  }
+  EXPECT_EQ(vars.size(), 5u);
+}
+
 }  // namespace

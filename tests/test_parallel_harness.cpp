@@ -125,7 +125,11 @@ std::string mini_bench_json(std::size_t threads) {
   report.config("units", 3.0);
   for (const Unit& u : units)
     report.row().value("writers", static_cast<double>(u.writers)).stat("bw", u.bw);
-  return report.to_json().dump();
+  obs::Json doc = report.to_json();
+  // peak_rss_bytes is a live getrusage reading — the one field that is
+  // legitimately run-dependent.  Pin it so the rest stays byte-comparable.
+  doc.set("peak_rss_bytes", obs::Json(0.0));
+  return doc.dump();
 }
 
 TEST(ParallelHarness, ReportJsonByteIdenticalAcrossThreadCounts) {

@@ -134,12 +134,17 @@ TEST(WriterFsm, InvalidConfigThrows) {
 
 SubCoordinatorFsm::Config sc_cfg(GroupId group, std::vector<Rank> members,
                                  std::vector<double> bytes, std::size_t k = 1) {
+  // The config views member_bytes; park each test's vector in stable storage
+  // so the span outlives the returned config.
+  static std::vector<std::unique_ptr<std::vector<double>>> keep;
+  keep.push_back(std::make_unique<std::vector<double>>(std::move(bytes)));
   SubCoordinatorFsm::Config c;
   c.group = group;
   c.rank = members.empty() ? 0 : members.front();
   c.coordinator = 0;
-  c.members = std::move(members);
-  c.member_bytes = std::move(bytes);
+  c.first_member = c.rank;  // member lists in these tests are contiguous
+  c.n_members = members.size();
+  c.member_bytes = *keep.back();
   c.max_concurrent = k;
   return c;
 }
@@ -317,7 +322,9 @@ TEST(SubCoordinatorFsm, InvalidConfigThrows) {
 CoordinatorFsm::Config coord_cfg(std::vector<std::size_t> sizes, bool stealing = true) {
   CoordinatorFsm::Config c;
   c.n_groups = sizes.size();
-  c.group_sizes = std::move(sizes);
+  c.group_size_of = [sizes = std::move(sizes)](GroupId g) {
+    return sizes.at(static_cast<std::size_t>(g));
+  };
   c.sc_of = sc_of_identity;
   c.rank = 0;
   c.stealing_enabled = stealing;

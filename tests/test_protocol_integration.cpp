@@ -122,6 +122,8 @@ class Harness {
 
   void build() {
     const auto sc_of = [topo = topo_](GroupId g) { return topo.sc_rank(g); };
+    bytes_.reserve(opt_.n_writers);
+    for (Rank r = 0; r < static_cast<Rank>(opt_.n_writers); ++r) bytes_.push_back(opt_.bytes_of(r));
     for (Rank r = 0; r < static_cast<Rank>(opt_.n_writers); ++r) {
       WriterFsm::Config wc;
       wc.rank = r;
@@ -141,18 +143,16 @@ class Harness {
       sc.group = g;
       sc.rank = topo_.sc_rank(g);
       sc.coordinator = Topology::coordinator_rank();
-      for (std::size_t i = 0; i < topo_.group_size(g); ++i) {
-        const Rank member = topo_.group_begin(g) + static_cast<Rank>(i);
-        sc.members.push_back(member);
-        sc.member_bytes.push_back(opt_.bytes_of(member));
-      }
+      sc.first_member = topo_.group_begin(g);
+      sc.n_members = topo_.group_size(g);
+      sc.member_bytes = std::span<const double>(bytes_).subspan(
+          static_cast<std::size_t>(sc.first_member), sc.n_members);
       sc.max_concurrent = opt_.max_concurrent;
       scs_.emplace(sc.rank, std::make_unique<SubCoordinatorFsm>(std::move(sc)));
     }
     CoordinatorFsm::Config cc;
     cc.n_groups = topo_.n_groups();
-    for (GroupId g = 0; g < static_cast<GroupId>(topo_.n_groups()); ++g)
-      cc.group_sizes.push_back(topo_.group_size(g));
+    cc.group_size_of = [topo = topo_](GroupId g) { return topo.group_size(g); };
     cc.sc_of = sc_of;
     cc.stealing_enabled = opt_.stealing;
     coord_ = std::make_unique<CoordinatorFsm>(std::move(cc));
@@ -220,6 +220,7 @@ class Harness {
   HarnessOptions opt_;
   Topology topo_;
   std::mt19937_64 rng_;
+  std::vector<double> bytes_;  // per-writer payloads; SC configs view subranges
   std::map<Rank, std::unique_ptr<WriterFsm>> writers_;
   std::map<Rank, std::unique_ptr<SubCoordinatorFsm>> scs_;
   std::unique_ptr<CoordinatorFsm> coord_;
@@ -363,6 +364,23 @@ TEST(ProtocolIntegration, GoldenDigestNonDivisibleConcurrency) {
   h.run();
   check_invariants(h, opt);
   EXPECT_EQ(h.digest(), 11491637215901391430ull);
+}
+
+// Paper-scale pin: 65,536 writers over 672 groups (the Jaguar OST count,
+// non-divisible: groups of 98 and 97).  Captured before the pooled-writer
+// rewrite; guards that compacting actor storage and streaming the index
+// merge never changes a scheduling or indexing decision at scale.
+TEST(ProtocolIntegration, GoldenDigestPaperScale65536) {
+  HarnessOptions opt;
+  opt.n_writers = 65536;
+  opt.n_groups = 672;
+  opt.seed = 4;
+  Harness h(opt);
+  h.run();
+  ASSERT_EQ(h.roles_remaining(), 0u);
+  ASSERT_EQ(h.coordinator().state(), CoordinatorFsm::State::Done);
+  EXPECT_EQ(h.coordinator().global_index().total_blocks(), opt.n_writers);
+  EXPECT_EQ(h.digest(), 1469256448900558871ull);
 }
 
 struct SweepParam {

@@ -127,6 +127,14 @@ TEST(Pixie3d, VarNames) {
   EXPECT_STREQ(workload::pixie3d_var_name(99), "?");
 }
 
+TEST(Pixie3d, JobCarriesInternedVarTable) {
+  const auto job = workload::pixie3d_job(Pixie3dConfig::small_model(), 8);
+  ASSERT_NE(job.var_names, nullptr);
+  ASSERT_EQ(job.var_names->size(), 8u);
+  for (std::uint32_t v = 0; v < 8; ++v)
+    EXPECT_EQ(job.var_names->name(v), workload::pixie3d_var_name(v));
+}
+
 TEST(Xgc1, JobMatchesConfiguredSize) {
   const Xgc1Config cfg;
   const auto job = workload::xgc1_job(cfg, 16);
