@@ -39,6 +39,8 @@ struct ScalePoint {
   double ratio;
   stats::Summary mpi_t;
   stats::Summary ad_t;
+  obs::Histogram mpi_h;  // quantiles for the machine-readable report
+  obs::Histogram ad_h;
 };
 
 }  // namespace
@@ -83,14 +85,19 @@ int main() {
 
       stats::Summary mpi_t;
       stats::Summary ad_t;
+      obs::Histogram mpi_h, ad_h;
       for (std::size_t s = 0; s < samples; ++s) {
-        mpi_t.add(machine.run(mpi, job).io_seconds());
+        const double m = machine.run(mpi, job).io_seconds();
+        mpi_t.add(m);
+        mpi_h.add(m);
         machine.advance(600.0);
-        ad_t.add(machine.run(adaptive, job).io_seconds());
+        const double a = machine.run(adaptive, job).io_seconds();
+        ad_t.add(a);
+        ad_h.add(a);
         machine.advance(600.0);
       }
       const double ratio = ad_t.stddev() > 0.0 ? mpi_t.stddev() / ad_t.stddev() : 0.0;
-      points.push_back({procs, ratio, mpi_t, ad_t});
+      points.push_back({procs, ratio, mpi_t, ad_t, mpi_h, ad_h});
     }
     return points;
   });
@@ -104,8 +111,8 @@ int main() {
           .tag("case", c.name)
           .value("procs", static_cast<double>(p.procs))
           .value("stddev_ratio", p.ratio)
-          .stat("mpiio_t", p.mpi_t)
-          .stat("adaptive_t", p.ad_t);
+          .stat("mpiio_t", p.mpi_t, p.mpi_h)
+          .stat("adaptive_t", p.ad_t, p.ad_h);
       table.add_row({std::to_string(p.procs),
                      stats::Table::num(static_cast<double>(p.procs) / 512.0, 1),
                      stats::Table::num(p.mpi_t.mean(), 2), stats::Table::num(p.mpi_t.stddev(), 2),

@@ -17,6 +17,10 @@
 //   AIO_TRACE            Chrome trace_event JSON per machine (Perfetto)
 //   AIO_TRACE_CATS       widen/narrow trace categories ("all" adds engine)
 //   AIO_METRICS          metrics registry JSON per machine
+//   AIO_JOURNAL          binary run journal per machine (tools/aio_report)
+//   AIO_REPORT           end-of-run analysis: terse stdout summary, plus the
+//                        aio-report-v1 JSON when the value is a path
+//                        ("-" or "1" = summary only)
 //   AIO_OBS_PERIOD_S     sampling period for per-OST series (default 1.0)
 //   AIO_OBS_OSTS         per-OST probe limit (default 32)
 #pragma once
@@ -38,6 +42,8 @@
 #include "fs/interference.hpp"
 #include "fs/machine.hpp"
 #include "net/network.hpp"
+#include "obs/analysis.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -69,6 +75,7 @@ struct Machine {
   // Observability precedes engine: the engine captures these pointers.
   std::unique_ptr<obs::TraceSink> trace;
   std::unique_ptr<obs::Registry> metrics;
+  std::unique_ptr<obs::Journal> journal;
   sim::Engine engine;
   fs::FileSystem filesystem;
   net::Network network;
@@ -86,7 +93,8 @@ struct Machine {
       : spec(std::move(machine_spec)),
         trace(obs::TraceSink::from_env(obs_slot)),
         metrics(metrics_from_env()),
-        engine(trace.get(), metrics.get()),
+        journal(obs::Journal::from_env(obs_slot)),
+        engine(trace.get(), metrics.get(), journal.get()),
         filesystem(engine, spec.fs),
         network(engine,
                 net::NetConfig{spec.msg_latency_s, spec.nic_bw, spec.cores_per_node},
@@ -114,10 +122,18 @@ struct Machine {
     job.emplace(engine, fs::InterferenceJob::Config{}, filesystem.ost_pointers());
   }
 
-  /// Writes the trace and metrics files (also called on destruction and on
-  /// watchdog abort, so a hung run still leaves its evidence behind).
+  /// Writes the trace, journal, metrics and report artifacts (also called on
+  /// destruction and on watchdog abort, so a hung run still leaves its
+  /// evidence behind).  Report/journal emission is latched: the watchdog path
+  /// and the destructor never print the summary twice.
   void flush_obs() {
     if (trace) trace->write();
+    if (trace && metrics) trace->publish_drops(*metrics);
+    if (journal && !report_flushed_) {
+      report_flushed_ = true;
+      (void)journal->write();
+      (void)obs::flush_report(*journal, obs_slot_);
+    }
     if (!metrics) return;
     if (const char* path = std::getenv("AIO_METRICS"); path && *path) {
       // Number sibling machines' outputs the same way TraceSink::from_env
@@ -191,6 +207,7 @@ struct Machine {
 
   std::string metrics_path_;
   int obs_slot_ = -1;
+  bool report_flushed_ = false;
 };
 
 inline void banner(const char* binary, const char* reproduces, const char* setup) {

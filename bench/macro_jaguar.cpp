@@ -71,11 +71,12 @@ struct RunCost {
 /// charges the job, the network, the transport, and every live index to the
 /// scale that allocated them.
 RunCost run_one(const fs::MachineSpec& spec, const workload::Pixie3dConfig& model,
-                std::size_t procs, bool adaptive) {
+                std::size_t procs, bool adaptive, obs::Journal* journal) {
   const std::uint64_t rss0 = current_rss_bytes();
   const auto t0 = std::chrono::steady_clock::now();
 
   sim::Engine engine;
+  engine.set_journal(journal);
   fs::FileSystem filesystem(engine, spec.fs);
   std::optional<net::Network> network;
   std::unique_ptr<core::Transport> transport;
@@ -132,6 +133,11 @@ int main() {
   const fs::MachineSpec spec = fs::jaguar();
   const workload::Pixie3dConfig model = workload::Pixie3dConfig::small_model();
 
+  // One journal across the whole sweep (serial bench, one "machine" at a
+  // time); each adaptive run appends its own kRunBegin..kComplete span.
+  const std::unique_ptr<obs::Journal> journal = obs::Journal::from_env(0);
+  if (journal) journal->reserve(1 << 20);
+
   stats::Table table(
       {"writers", "transport", "wall s", "sim s", "Mevents/s", "rss delta", "B/writer"});
 
@@ -146,7 +152,7 @@ int main() {
       stats::Summary wall;
       RunCost last;
       for (std::size_t s = 0; s < samples; ++s) {
-        last = run_one(spec, model, procs, adaptive);
+        last = run_one(spec, model, procs, adaptive, journal.get());
         wall.add(last.wall_s);
       }
       const double bytes_per_writer =
@@ -171,5 +177,9 @@ int main() {
   std::printf("%s\n", table.render().c_str());
   std::printf("peak RSS (whole process): %s\n",
               bench::mb(static_cast<double>(bench::peak_rss_bytes())).c_str());
+  if (journal) {
+    (void)journal->write();
+    (void)obs::flush_report(*journal, 0);
+  }
   return 0;
 }

@@ -37,6 +37,7 @@
 #endif
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "stats/summary.hpp"
 
 namespace aio::bench {
@@ -73,6 +74,23 @@ class Report {
       return *this;
     }
     Row& stat(std::string key, const stats::Summary& s) {
+      stats_.set(std::move(key), stat_json(s));
+      return *this;
+    }
+    /// Quantile-augmented stat: exact moments from the summary plus
+    /// p50/p90/p99 from a log-bucket sketch fed the same samples.
+    Row& stat(std::string key, const stats::Summary& s, const obs::Histogram& h) {
+      obs::Json j = stat_json(s);
+      j.set("p50", obs::Json(h.quantile(0.50)));
+      j.set("p90", obs::Json(h.quantile(0.90)));
+      j.set("p99", obs::Json(h.quantile(0.99)));
+      stats_.set(std::move(key), std::move(j));
+      return *this;
+    }
+
+   private:
+    friend class Report;
+    static obs::Json stat_json(const stats::Summary& s) {
       obs::Json j = obs::Json::object();
       j.set("n", obs::Json(static_cast<double>(s.count())));
       j.set("mean", obs::Json(s.mean()));
@@ -80,12 +98,8 @@ class Report {
       j.set("cv", obs::Json(s.cv()));
       j.set("min", obs::Json(s.min()));
       j.set("max", obs::Json(s.max()));
-      stats_.set(std::move(key), std::move(j));
-      return *this;
+      return j;
     }
-
-   private:
-    friend class Report;
     obs::Json tags_ = obs::Json::object();
     obs::Json values_ = obs::Json::object();
     obs::Json stats_ = obs::Json::object();

@@ -7,9 +7,12 @@
 // Section II in one self-contained program.
 #include <cstdio>
 #include <functional>
+#include <memory>
 
 #include "fs/interference.hpp"
 #include "fs/machine.hpp"
+#include "obs/analysis.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "stats/histogram.hpp"
@@ -21,7 +24,10 @@ using namespace aio;
 int main() {
   const fs::MachineSpec spec = fs::jaguar();
   obs::Registry metrics;
-  sim::Engine engine(/*trace=*/nullptr, &metrics);
+  // AIO_JOURNAL/AIO_REPORT capture the per-OST state timeline for
+  // tools/aio_report even though this study runs no adaptive protocol.
+  const std::unique_ptr<obs::Journal> journal = obs::Journal::from_env();
+  sim::Engine engine(/*trace=*/nullptr, &metrics, journal.get());
   fs::FileSystem filesystem(engine, spec.fs);
   fs::BackgroundLoad load(engine, sim::Rng(2026).fork(1), spec.load,
                           filesystem.ost_pointers());
@@ -75,5 +81,9 @@ int main() {
 
   std::printf("\nend-of-run metrics (obs::Registry, %zu-sample per-OST series):\n%s",
               sampler.ticks(), metrics.render_text().c_str());
+  if (journal) {
+    (void)journal->write();
+    (void)obs::flush_report(*journal);
+  }
   return 0;
 }

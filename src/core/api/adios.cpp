@@ -3,6 +3,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/analysis.hpp"
+
 namespace aio::api {
 
 std::size_t type_size(Type t) {
@@ -97,7 +99,8 @@ Simulation::Simulation(fs::MachineSpec spec, std::uint64_t seed, Options options
     : spec_(std::move(spec)),
       options_(options),
       trace_(obs::TraceSink::from_env()),
-      engine_(trace_.get(), &metrics_),
+      journal_(obs::Journal::from_env()),
+      engine_(trace_.get(), &metrics_, journal_.get()),
       rng_(seed) {
   fs_ = std::make_unique<fs::FileSystem>(engine_, spec_.fs);
   net::NetConfig nc;
@@ -134,6 +137,11 @@ void Simulation::arm_sampler() {
 Simulation::~Simulation() {
   if (job_ && job_->running()) job_->stop();
   if (trace_) trace_->write();
+  if (trace_) trace_->publish_drops(metrics_);
+  if (journal_) {
+    (void)journal_->write();
+    (void)obs::flush_report(*journal_);
+  }
 }
 
 void Simulation::advance(double seconds) { engine_.run_until(engine_.now() + seconds); }

@@ -32,6 +32,7 @@
 #include "fs/interference.hpp"
 #include "fs/machine.hpp"
 #include "net/network.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -144,6 +145,9 @@ class Simulation {
   [[nodiscard]] obs::Registry& metrics() { return metrics_; }
   /// Trace sink built from AIO_TRACE, or null.  Written out on destruction.
   [[nodiscard]] obs::TraceSink* trace() { return trace_.get(); }
+  /// Run journal built from AIO_JOURNAL/AIO_REPORT, or null.  Written (and
+  /// its analysis report emitted) on destruction.
+  [[nodiscard]] obs::Journal* journal() { return journal_.get(); }
 
  private:
   void arm_sampler();
@@ -153,6 +157,7 @@ class Simulation {
   // Observability state must precede engine_: the engine captures the
   // pointers at construction.
   std::unique_ptr<obs::TraceSink> trace_;
+  std::unique_ptr<obs::Journal> journal_;
   obs::Registry metrics_;
   sim::Engine engine_;
   sim::Rng rng_;

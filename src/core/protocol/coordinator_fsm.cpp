@@ -137,7 +137,10 @@ void CoordinatorFsm::request_adaptive(GroupId target, Actions& out) {
   file_busy_[file] = true;
   ++outstanding_;
   ++grants_issued_;
-  const AdaptiveWriteStart grant{target, next_offset_[file]};
+  // grants_issued_ doubles as the 1-based provenance id echoed back through
+  // DoWrite and WriteComplete (grant_seq); declined grants burn an id, which
+  // keeps every issued id unique.
+  const AdaptiveWriteStart grant{target, next_offset_[file], grants_issued_};
   out.push_back(
       SendAction{config_.sc_of(static_cast<GroupId>(chosen)), Message{config_.rank, grant}});
 }

@@ -29,6 +29,10 @@ inline constexpr double kControlMsgBytes = 128.0;
 struct DoWrite {
   GroupId target_file = -1;
   double offset = 0.0;
+  /// Provenance: the coordinator grant this signal executes (0 = local
+  /// write, not a steal).  Diagnostic only — wire size is fixed at
+  /// kControlMsgBytes, so carrying it does not perturb the simulation.
+  std::uint64_t grant_seq = 0;
 };
 
 /// WRITE_COMPLETE in its three uses.
@@ -45,6 +49,8 @@ struct WriteComplete {
   double bytes = 0.0;          ///< payload size of the finished write
   double index_bytes = 0.0;    ///< "Save index size for index message" (line 9)
   double final_offset = 0.0;   ///< GroupDone: end of the locally written region
+  /// Provenance: grant that redirected this write (0 = local write).
+  std::uint64_t grant_seq = 0;
 };
 
 /// INDEX_BODY: writer -> SC owning the file the data landed in.
@@ -64,6 +70,10 @@ struct IndexBody {
 struct AdaptiveWriteStart {
   GroupId target_file = -1;
   double offset = 0.0;
+  /// Provenance: unique id (1-based) of this grant, stamped by the
+  /// coordinator and echoed through DoWrite and WriteComplete so a steal's
+  /// grant -> migration -> completion chain can be reassembled post-run.
+  std::uint64_t grant_seq = 0;
 };
 
 /// WRITERS_BUSY: SC -> C, declining a grant because no writer is waiting.

@@ -111,8 +111,9 @@ Actions SubCoordinatorFsm::on_adaptive_write_start(const AdaptiveWriteStart& msg
   // "Signal writer with new target and offset" (line 24).  The redirected
   // write does not occupy this SC's local in-flight window.
   const std::size_t m = next_waiting_++;
-  out.push_back(
-      SendAction{member(m), Message{config_.rank, DoWrite{msg.target_file, msg.offset}}});
+  out.push_back(SendAction{
+      member(m),
+      Message{config_.rank, DoWrite{msg.target_file, msg.offset, msg.grant_seq}}});
   return out;
 }
 

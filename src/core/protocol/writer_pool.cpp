@@ -19,6 +19,7 @@ WriterPool::WriterPool(Layout layout, const std::function<LocalIndex(Rank)>& blu
   states_.assign(n, State::Idle);
   targets_.assign(n, GroupId{-1});
   index_bytes_.resize(n);
+  grant_seqs_.assign(n, 0);
   store_ = std::make_shared<Store>();
   store_->indices.resize(n);
   // Indices are allocated (and their offset-independent serialized sizes
@@ -35,6 +36,7 @@ Actions WriterPool::on_do_write(Rank rank, const DoWrite& msg) {
     throw std::logic_error("WriterFsm: DO_WRITE received while not idle");
   states_[s] = State::Writing;
   targets_[s] = msg.target_file;
+  grant_seqs_[s] = msg.grant_seq;
 
   // "Build local index based on offset": stamp the pre-allocated blueprint
   // with its final file locations — no allocation on this path.
@@ -69,6 +71,7 @@ Actions WriterPool::on_write_done(Rank rank) {
   done.file = targets_[s];
   done.bytes = layout_.bytes[s];
   done.index_bytes = index_bytes;
+  done.grant_seq = grant_seqs_[s];
 
   Actions actions;
   actions.push_back(SendAction{my_sc, Message{rank, done}});

@@ -80,6 +80,7 @@ class WriterPool {
   std::vector<State> states_;
   std::vector<GroupId> targets_;           ///< file each writer was sent to
   std::vector<std::uint64_t> index_bytes_; ///< cached serialized index sizes
+  std::vector<std::uint64_t> grant_seqs_;  ///< provenance of the current write
   std::shared_ptr<Store> store_;
 };
 

@@ -9,6 +9,7 @@
 #include "core/protocol/coordinator_fsm.hpp"
 #include "core/protocol/subcoordinator_fsm.hpp"
 #include "core/protocol/writer_pool.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -52,12 +53,15 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
   // protocol category so the hot paths test one pointer.
   obs::TraceSink* trace = nullptr;
   obs::Registry* metrics = nullptr;
+  obs::Journal* journal = nullptr;
+  std::uint32_t journal_run = 0;  ///< this run's id within the journal
 
   AdaptiveRun(fs::FileSystem& f, net::Network& n, AdaptiveTransport::Config c, Topology t)
       : fs(f), net(n), cfg(std::move(c)), topo(t) {
     trace = fs.engine().trace();
     if (trace && !trace->wants(obs::kCatProtocol)) trace = nullptr;
     metrics = fs.engine().metrics();
+    journal = fs.engine().journal();
   }
 
   void begin(const IoJob& job);
@@ -66,8 +70,19 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
   void execute(Rank from, Actions&& actions) { execute(from, actions); }
   void deliver(Rank to, const Message& msg);
   void all_roles_done();
+  void finish(sim::Time now);
   void trace_steal_grant(const SendAction& send);
   void trace_steal_complete(const WriteComplete& msg);
+  void journal_mark(obs::Mark mark, double v0 = 0.0, double v1 = 0.0) {
+    obs::Record r;
+    r.kind = obs::Rec::kRunMark;
+    r.t = fs.engine().now();
+    r.id = journal_run;
+    r.a = static_cast<std::uint8_t>(mark);
+    r.v0 = v0;
+    r.v1 = v1;
+    journal->append(r);
+  }
 
   [[nodiscard]] SubCoordinatorFsm& sc_at(Rank rank) {
     return scs[static_cast<std::size_t>(topo.group_of(rank))];
@@ -136,6 +151,26 @@ void AdaptiveRun::begin(const IoJob& job) {
     if (!cfg.targets.empty()) return cfg.targets[file] % fs.n_osts();
     return (cfg.first_ost + file) % fs.n_osts();
   };
+  if (journal) {
+    journal_run = journal->begin_run();
+    obs::Record r;
+    r.kind = obs::Rec::kRunBegin;
+    r.t = result.t_begin;
+    r.id = journal_run;
+    r.u0 = static_cast<std::uint32_t>(n);
+    r.u1 = static_cast<std::uint32_t>(g);
+    r.u2 = static_cast<std::uint32_t>(fs.n_osts());
+    journal->append(r);
+    for (std::size_t f = 0; f < g; ++f) {
+      obs::Record m;
+      m.kind = obs::Rec::kFileMap;
+      m.t = result.t_begin;
+      m.id = journal_run;
+      m.u0 = static_cast<std::uint32_t>(f);
+      m.u1 = static_cast<std::uint32_t>(ost_of_file(f));
+      journal->append(m);
+    }
+  }
   const std::string base = "adaptive";
   using OpenMode = AdaptiveTransport::Config::OpenMode;
   if (cfg.open_mode == OpenMode::Skip) {
@@ -171,6 +206,7 @@ void AdaptiveRun::begin(const IoJob& job) {
 }
 
 void AdaptiveRun::start_protocol() {
+  if (journal) journal_mark(obs::Mark::kOpenDone);
   for (GroupId grp = 0; grp < static_cast<GroupId>(topo.n_groups()); ++grp) {
     execute(topo.sc_rank(grp), scs[static_cast<std::size_t>(grp)].start());
   }
@@ -183,6 +219,18 @@ void AdaptiveRun::trace_steal_grant(const SendAction& send) {
   const auto* grant = std::get_if<AdaptiveWriteStart>(&send.msg.body);
   if (!grant) return;
   if (metrics) metrics->counter("protocol.steal_grants").add();
+  if (journal) {
+    const GroupId src = topo.group_of(send.to);
+    obs::Record r;
+    r.kind = obs::Rec::kStealGrant;
+    r.t = fs.engine().now();
+    r.id = static_cast<std::uint32_t>(grant->grant_seq);
+    r.u0 = static_cast<std::uint32_t>(src);
+    r.u1 = static_cast<std::uint32_t>(grant->target_file);
+    r.v0 = grant->offset;
+    r.v1 = static_cast<double>(coord->remaining_writers(src));
+    journal->append(r);
+  }
   if (!trace) return;
   const GroupId source = topo.group_of(send.to);
   trace->instant(
@@ -199,6 +247,17 @@ void AdaptiveRun::trace_steal_grant(const SendAction& send) {
 
 void AdaptiveRun::trace_steal_complete(const WriteComplete& msg) {
   if (metrics) metrics->counter("protocol.steals").add();
+  if (journal) {
+    obs::Record r;
+    r.kind = obs::Rec::kStealComplete;
+    r.t = fs.engine().now();
+    r.id = static_cast<std::uint32_t>(msg.grant_seq);
+    r.u0 = static_cast<std::uint32_t>(msg.origin_group);
+    r.u1 = static_cast<std::uint32_t>(msg.file);
+    r.u2 = static_cast<std::uint32_t>(msg.writer);
+    r.v0 = msg.bytes;
+    journal->append(r);
+  }
   if (!trace) return;
   trace->instant(
       obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(msg.writer),
@@ -225,7 +284,7 @@ void AdaptiveRun::deliver(Rank to, const Message& msg) {
       metrics->counter("protocol.busy_declines").add();
   }
   if (const auto* wc = std::get_if<WriteComplete>(&msg.body);
-      wc && wc->kind == WriteComplete::Kind::AdaptiveDone && (trace || metrics)) {
+      wc && wc->kind == WriteComplete::Kind::AdaptiveDone && (trace || metrics || journal)) {
     trace_steal_complete(*wc);
   }
   // Route by message type + destination role: writers get DO_WRITE, the
@@ -258,7 +317,24 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
   auto self = shared_from_this();
   for (auto& action : actions) {
     if (auto* send = std::get_if<SendAction>(&action)) {
-      if ((trace || metrics) && from == Topology::coordinator_rank()) trace_steal_grant(*send);
+      if ((trace || metrics || journal) && from == Topology::coordinator_rank())
+        trace_steal_grant(*send);
+      if (journal) {
+        // A DO_WRITE leaving an SC is the writer's release from its queue;
+        // the gap to the matching kWriterStart is pure network latency.
+        if (const auto* dw = std::get_if<DoWrite>(&send->msg.body)) {
+          const GroupId home = topo.group_of(send->to);
+          obs::Record r;
+          r.kind = obs::Rec::kWriterSignal;
+          r.t = fs.engine().now();
+          r.id = static_cast<std::uint32_t>(send->to);
+          r.u0 = static_cast<std::uint32_t>(dw->target_file);
+          r.u1 = static_cast<std::uint32_t>(home);
+          r.u2 = static_cast<std::uint32_t>(dw->grant_seq);
+          r.a = dw->target_file != home ? 1 : 0;
+          journal->append(r);
+        }
+      }
       const Rank to = send->to;
       const double bytes = send->msg.wire_bytes();  // before the move below
       auto deliver_cb = [self, to, msg = std::move(send->msg)] { self->deliver(to, msg); };
@@ -274,12 +350,30 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
                       {"offset", obs::Json(write->offset)},
                       {"bytes", obs::Json(write->bytes)}});
       }
+      const auto file = static_cast<std::uint32_t>(write->file);
+      if (journal) {
+        obs::Record r;
+        r.kind = obs::Rec::kWriterStart;
+        r.t = fs.engine().now();
+        r.id = static_cast<std::uint32_t>(from);
+        r.u0 = file;
+        r.v0 = write->bytes;
+        journal->append(r);
+      }
       files.at(static_cast<std::size_t>(write->file))
-          ->write(write->offset, write->bytes, data_mode, [self, from](sim::Time now) {
+          ->write(write->offset, write->bytes, data_mode, [self, from, file](sim::Time now) {
             self->result.writer_times[static_cast<std::size_t>(from)].end = now;
             if (self->trace) {
               self->trace->end(obs::kCatProtocol, obs::kPidProtocol,
                                static_cast<std::uint32_t>(from), now);
+            }
+            if (self->journal) {
+              obs::Record r;
+              r.kind = obs::Rec::kWriterEnd;
+              r.t = now;
+              r.id = static_cast<std::uint32_t>(from);
+              r.u0 = file;
+              self->journal->append(r);
             }
             self->execute(from, self->writers->on_write_done(from));
           });
@@ -322,10 +416,13 @@ void AdaptiveRun::all_roles_done() {
   result.t_data_done = fs.engine().now();
   result.steals = coord->total_steals();
   result.grants_issued = coord->grants_issued();
+  if (journal) journal_mark(obs::Mark::kDataDone);
   if (metrics) {
     metrics->counter("protocol.runs").add();
     metrics->gauge("protocol.last_steals").set(static_cast<double>(result.steals));
     metrics->gauge("protocol.last_grants").set(static_cast<double>(result.grants_issued));
+    obs::Histogram& h = metrics->histogram("protocol.writer_s");
+    for (const auto& wt : result.writer_times) h.add(wt.end - wt.start);
   }
   result.total_blocks_indexed = coord->total_blocks();
   if (cfg.retain_global_index) {
@@ -335,20 +432,25 @@ void AdaptiveRun::all_roles_done() {
   result.master_file = master;
 
   if (!cfg.close_via_mds) {
-    result.t_complete = fs.engine().now();
-    on_done(result);
+    finish(fs.engine().now());
     return;
   }
   auto self = shared_from_this();
   closes_remaining = files.size() + 1;
   auto closed = [self](sim::Time now) {
-    if (--self->closes_remaining == 0) {
-      self->result.t_complete = now;
-      self->on_done(self->result);
-    }
+    if (--self->closes_remaining == 0) self->finish(now);
   };
   for (fs::StripedFile* file : files) fs.close(*file, closed);
   fs.close(*master, closed);
+}
+
+void AdaptiveRun::finish(sim::Time now) {
+  result.t_complete = now;
+  if (journal)
+    journal_mark(obs::Mark::kComplete, static_cast<double>(result.steals),
+                 static_cast<double>(result.grants_issued));
+  if (metrics) metrics->histogram("protocol.run_s").add(result.t_complete - result.t_begin);
+  on_done(result);
 }
 
 }  // namespace

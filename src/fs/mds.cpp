@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -45,6 +46,15 @@ void MetadataServer::dispatch() {
     trace->begin(obs::kCatMds, obs::kPidMds, 0, engine_.now(), op_name(in_service_.kind),
                  {{"queued_behind", obs::Json(static_cast<double>(queue_.size()))},
                   {"service_s", obs::Json(service)}});
+  }
+  if (auto* journal = engine_.journal()) {
+    obs::Record r;
+    r.kind = obs::Rec::kMdsOp;
+    r.t = engine_.now();
+    r.a = static_cast<std::uint8_t>(in_service_.kind);
+    r.u0 = static_cast<std::uint32_t>(queue_.size());
+    r.v0 = service;
+    journal->append(r);
   }
   // The in-service request stays in `in_service_` rather than riding in the
   // closure: the event then captures one pointer and an open storm's worth

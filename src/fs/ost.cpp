@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -176,7 +177,7 @@ void Ost::recompute() {
       config_.disk_bw * (1.0 - disk_load_) * efficiency(std::max<std::size_t>(m_dirty, 1));
   const double share = m_dirty > 0 ? disk_total / static_cast<double>(m_dirty) : disk_total;
   const bool cache_full = q >= config_.cache_bytes - kEps;
-  if (engine_.trace()) trace_state(q, m_dirty, cache_full);
+  if (engine_.trace() || engine_.journal()) observe_state(q, m_dirty, cache_full);
 
   double r = 0.0;
   if (n_ingest > 0 && net_total > 0.0) {
@@ -264,6 +265,29 @@ void Ost::recompute() {
     pending_ = daemon ? engine_.schedule_daemon_after(delay, [this] { fire(); })
                       : engine_.schedule_after(delay, [this] { fire(); });
   }
+}
+
+void Ost::observe_state(double q, std::size_t m_dirty, bool cache_full) {
+  if (engine_.trace()) trace_state(q, m_dirty, cache_full);
+  obs::Journal* journal = engine_.journal();
+  if (!journal) return;
+  if (cache_full == journaled_cache_full_ && m_dirty == journaled_m_dirty_ &&
+      net_load_ == journaled_net_load_ && disk_load_ == journaled_disk_load_)
+    return;
+  journaled_cache_full_ = cache_full;
+  journaled_m_dirty_ = m_dirty;
+  journaled_net_load_ = net_load_;
+  journaled_disk_load_ = disk_load_;
+  obs::Record r;
+  r.kind = obs::Rec::kOstState;
+  r.t = engine_.now();
+  r.id = static_cast<std::uint32_t>(index_);
+  r.u0 = static_cast<std::uint32_t>(m_dirty);
+  r.a = cache_full ? 1 : 0;
+  r.v0 = efficiency(std::max<std::size_t>(m_dirty, 1));
+  r.v1 = net_load_;
+  r.v2 = disk_load_;
+  journal->append(r);
 }
 
 void Ost::trace_state(double q, std::size_t m_dirty, bool cache_full) {

@@ -136,8 +136,12 @@ class Ost {
   void insert_op(OpId id, Op op);       ///< adds an op, reusing a spare node
   void retire_op(OpMap::iterator it);   ///< removes an op, parking its node
   [[nodiscard]] bool flush_ready() const;
-  /// Emits cache-full / dirty-stream transition events when a trace sink is
-  /// installed on the engine (called from recompute with its derived state).
+  /// Observability fan-out, called from recompute with its derived state:
+  /// trace transitions when a sink is installed, journal records when a run
+  /// journal is installed.  Each has its own last-emitted state so enabling
+  /// one never perturbs the other's dedup.
+  void observe_state(double q, std::size_t m_dirty, bool cache_full);
+  /// Emits cache-full / dirty-stream transition events onto the trace sink.
   void trace_state(double q, std::size_t m_dirty, bool cache_full);
 
   [[nodiscard]] double efficiency(std::size_t m) const {
@@ -183,6 +187,13 @@ class Ost {
   bool traced_cache_full_ = false;
   std::size_t traced_m_dirty_ = 0;
   std::string trace_name_;  // "ost<i>", built lazily on first traced event
+
+  // Last journaled state; loads start at -1 so the first journaled recompute
+  // always records the OST's initial condition.
+  bool journaled_cache_full_ = false;
+  std::size_t journaled_m_dirty_ = 0;
+  double journaled_net_load_ = -1.0;
+  double journaled_disk_load_ = -1.0;
 };
 
 }  // namespace aio::fs

@@ -68,27 +68,75 @@ class Series {
   std::size_t offered_ = 0;
 };
 
+/// Fixed log-bucket quantile sketch (DDSketch-style).  Values land in bucket
+/// floor(log(v)/log(gamma)); with the default gamma every quantile estimate
+/// is within ~1% relative error of the true value regardless of how many
+/// samples were added.  Bucket storage is a dense array over the observed
+/// index range, so adding is O(1) amortized and memory is O(dynamic range).
+/// Exact count/sum/min/max/mean ride along (Welford-free: sum suffices).
+class Histogram {
+ public:
+  /// `rel_err` is the target relative quantile error; gamma = (1+e)/(1-e).
+  explicit Histogram(double rel_err = 0.01);
+
+  void add(double v, std::uint64_t n = 1);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  /// Value at quantile q in [0, 1]; 0 when empty.  q=0/q=1 return the exact
+  /// min/max; interior quantiles come from the sketch (bucket midpoint).
+  [[nodiscard]] double quantile(double q) const;
+
+  /// {"count":..,"mean":..,"min":..,"max":..,"p25":..,"p50":..,"p75":..,
+  ///  "p90":..,"p99":..}
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  double gamma_;
+  double inv_log_gamma_;
+  // buckets_[i] counts values in bucket (offset_ + i); zeros_/negatives are
+  // clamped into the smallest tracked bucket via kFloor.
+  std::vector<std::uint64_t> buckets_;
+  long offset_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 class Registry {
  public:
   Counter& counter(const std::string& name) { return counters_[name]; }
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
   Series& series(const std::string& name, std::size_t max_points = 4096);
+  Histogram& histogram(const std::string& name, double rel_err = 0.01);
 
   [[nodiscard]] const std::map<std::string, Counter>& counters() const { return counters_; }
   [[nodiscard]] const std::map<std::string, Gauge>& gauges() const { return gauges_; }
   [[nodiscard]] const std::map<std::string, Series>& all_series() const { return series_; }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
-  /// {"counters": {...}, "gauges": {...}, "series": {name: [[t,v],...]}}
+  /// {"counters": {...}, "gauges": {...}, "series": {name: [[t,v],...]},
+  ///  "histograms": {name: {count, mean, quantiles...}}}
   [[nodiscard]] Json to_json() const;
   /// Long-format CSV of every series: header `series,t,value`.
   void write_series_csv(std::ostream& out) const;
-  /// Aligned `name value` lines (counters, gauges, series last-values).
+  /// One row per histogram: `histogram,count,mean,min,p25,p50,p75,p90,p99,max`.
+  void write_histograms_csv(std::ostream& out) const;
+  /// Aligned `name value` lines (counters, gauges, series last-values,
+  /// histogram quantile summaries).
   [[nodiscard]] std::string render_text() const;
 
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Series> series_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace aio::obs

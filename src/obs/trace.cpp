@@ -1,10 +1,13 @@
 #include "obs/trace.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <ostream>
+
+#include "obs/metrics.hpp"
 
 namespace aio::obs {
 
@@ -178,6 +181,8 @@ Json TraceSink::to_json() const {
   doc.set("displayTimeUnit", "ms");
   Json other = Json::object();
   other.set("dropped", static_cast<double>(dropped_));
+  other.set("events", static_cast<double>(events_.size()));
+  other.set("categories", static_cast<double>(config_.categories));
   doc.set("otherData", std::move(other));
   return doc;
 }
@@ -196,15 +201,41 @@ void TraceSink::write(std::ostream& out) const {
   };
   for (const Event& e : meta_) one(e);
   for (const Event& e : events_) one(e);
-  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" << dropped_ << "}}\n";
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" << dropped_
+      << ",\"events\":" << events_.size() << ",\"categories\":" << config_.categories
+      << "}}\n";
 }
 
 bool TraceSink::write() const {
   if (config_.path.empty()) return true;
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped = dropped_;
+  }
+  if (dropped > 0) {
+    // Bounded-buffer drops used to be silent; one line at flush makes a
+    // truncated trace impossible to mistake for a complete one.
+    std::fprintf(stderr,
+                 "obs: trace %s dropped %zu events past the %zu-event cap "
+                 "(categories mask 0x%x)\n",
+                 config_.path.c_str(), dropped, config_.max_events, config_.categories);
+  }
   std::ofstream out(config_.path);
   if (!out) return false;
   write(out);
   return static_cast<bool>(out);
+}
+
+void TraceSink::publish_drops(Registry& reg) const {
+  std::size_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dropped_ <= drops_published_) return;
+    delta = dropped_ - drops_published_;
+    drops_published_ = dropped_;
+  }
+  reg.counter("obs.trace.dropped").add(delta);
 }
 
 }  // namespace aio::obs

@@ -29,6 +29,8 @@
 
 namespace aio::obs {
 
+class Registry;
+
 /// Event categories, a bitmask.  A sink records only the categories it was
 /// configured with; `kCatEngine` (one instant per DES event dispatch) is
 /// excluded from the default because it multiplies trace volume by the total
@@ -100,6 +102,11 @@ class TraceSink {
   [[nodiscard]] std::size_t dropped() const;
   [[nodiscard]] const Config& config() const { return config_; }
 
+  /// Mirrors the drop count into `obs.trace.dropped` in `reg`.  Tracks what
+  /// was already published, so repeated flushes (destructor after a watchdog
+  /// abort) never double-count.
+  void publish_drops(Registry& reg) const;
+
   /// Counts recorded events with phase `ph` ('B', 'E', 'i', 'C') whose name
   /// matches (empty = any).  Test/diagnostic helper.
   [[nodiscard]] std::size_t count(char ph, std::string_view name = {}) const;
@@ -132,6 +139,7 @@ class TraceSink {
   std::vector<Event> events_;
   std::vector<Event> meta_;  // process/thread names; exempt from the cap
   std::size_t dropped_ = 0;
+  mutable std::size_t drops_published_ = 0;  // publish_drops high-water mark
 };
 
 }  // namespace aio::obs

@@ -30,6 +30,7 @@
 namespace aio::obs {
 class TraceSink;
 class Registry;
+class Journal;
 }  // namespace aio::obs
 
 namespace aio::sim {
@@ -60,18 +61,22 @@ class Engine {
   // 80-byte fs completion callback.
   using Callback = InplaceFunction<void(), 96>;
 
-  /// An engine optionally carries observability hooks: a trace sink and a
-  /// metrics registry, both null by default.  Everything built on top of the
-  /// engine (file system, transports, MDS) reaches them through `trace()` /
-  /// `metrics()`, so one injection point instruments the whole stack and a
-  /// null pointer keeps every layer on its untraced fast path.
-  explicit Engine(obs::TraceSink* trace = nullptr, obs::Registry* metrics = nullptr)
-      : trace_(trace), metrics_(metrics) {}
+  /// An engine optionally carries observability hooks: a trace sink, a
+  /// metrics registry, and a run journal, all null by default.  Everything
+  /// built on top of the engine (file system, transports, MDS) reaches them
+  /// through `trace()` / `metrics()` / `journal()`, so one injection point
+  /// instruments the whole stack and a null pointer keeps every layer on its
+  /// untraced fast path.
+  explicit Engine(obs::TraceSink* trace = nullptr, obs::Registry* metrics = nullptr,
+                  obs::Journal* journal = nullptr)
+      : trace_(trace), metrics_(metrics), journal_(journal) {}
 
   [[nodiscard]] obs::TraceSink* trace() const { return trace_; }
   [[nodiscard]] obs::Registry* metrics() const { return metrics_; }
+  [[nodiscard]] obs::Journal* journal() const { return journal_; }
   void set_trace(obs::TraceSink* trace) { trace_ = trace; }
   void set_metrics(obs::Registry* metrics) { metrics_ = metrics; }
+  void set_journal(obs::Journal* journal) { journal_ = journal; }
 
   /// Current simulated time.  Starts at zero.
   [[nodiscard]] Time now() const { return now_; }
@@ -175,6 +180,7 @@ class Engine {
   bool heartbeat_ = heartbeat_enabled();
   obs::TraceSink* trace_ = nullptr;
   obs::Registry* metrics_ = nullptr;
+  obs::Journal* journal_ = nullptr;
 };
 
 }  // namespace aio::sim

@@ -33,6 +33,7 @@
 #include "fs/filesystem.hpp"
 #include "fs/ost.hpp"
 #include "net/network.hpp"
+#include "obs/journal.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -153,6 +154,48 @@ TEST(AllocGuard, OstWriteCycleIsAllocationFree) {
   guard.start();
   burst();
   EXPECT_EQ(guard.stop(), 0u) << "OST write/completion allocated per op";
+}
+
+// --- journal append ----------------------------------------------------------
+
+// The journal is wired into the same hot paths the other guards protect, so
+// its append must be a POD push into reserved capacity — nothing else.
+TEST(AllocGuard, JournalAppendIsAllocationFree) {
+  obs::Journal journal({/*path=*/"", /*max_records=*/1u << 16});
+  journal.reserve(1u << 16);
+
+  AllocGuard guard;
+  guard.start();
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    obs::Record r;
+    r.kind = obs::Rec::kWriterStart;
+    r.t = static_cast<double>(i);
+    r.id = i;
+    journal.append(r);
+  }
+  EXPECT_EQ(guard.stop(), 0u) << "journal append allocated in steady state";
+  EXPECT_EQ(journal.records().size(), 4096u);
+}
+
+// An instrumented OST write round-trip must stay allocation-free with the
+// journal attached: state observations append, never allocate.
+TEST(AllocGuard, OstWriteCycleWithJournalIsAllocationFree) {
+  obs::Journal journal({/*path=*/"", /*max_records=*/1u << 16});
+  journal.reserve(1u << 16);
+  sim::Engine engine(nullptr, nullptr, &journal);
+  fs::Ost ost(engine, fs::Ost::Config{}, 0);
+  const auto burst = [&] {
+    for (int i = 0; i < 8; ++i)
+      ost.write(1 << 20, fs::Ost::Mode::Durable, [](sim::Time) {});
+    engine.run();
+  };
+  burst();  // warm-up: op-map nodes, drain events, journal capacity
+
+  AllocGuard guard;
+  guard.start();
+  burst();
+  EXPECT_EQ(guard.stop(), 0u) << "journaled OST write cycle allocated per op";
+  EXPECT_GT(journal.records().size(), 0u);
 }
 
 // --- protocol FSM steps ------------------------------------------------------

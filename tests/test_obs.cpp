@@ -88,6 +88,44 @@ TEST(Registry, SeriesDecimatesToBoundedSketch) {
   EXPECT_GE(pts.back().first, 500.0);
 }
 
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, QuantilesWithinSketchError) {
+  obs::Histogram h(/*rel_err=*/0.01);
+  // 10,000 evenly spaced values over three decades: the true quantile q is
+  // (approximately) q * 10 s, and every estimate must land within the
+  // sketch's relative-error guarantee (bucket midpoint, ~1%).
+  for (int i = 1; i <= 10000; ++i) h.add(i * 1e-3);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1e-3);   // exact extrema
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  for (const double q : {0.25, 0.50, 0.75, 0.90, 0.99}) {
+    const double truth = q * 10.0;
+    EXPECT_NEAR(h.quantile(q), truth, 0.02 * truth) << "q=" << q;
+  }
+  EXPECT_NEAR(h.mean(), h.sum() / 10000.0, 1e-9);
+
+  // Empty histogram: zeros, no division by zero.
+  const obs::Histogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+TEST(Histogram, RegistrySerializesSketches) {
+  obs::Registry reg;
+  for (int i = 1; i <= 100; ++i) reg.histogram("svc").add(i * 0.01);
+  const std::optional<obs::Json> doc = obs::Json::parse(reg.to_json().dump());
+  ASSERT_TRUE(doc.has_value());
+  const obs::Json* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::Json* svc = hists->find("svc");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_DOUBLE_EQ(svc->find("count")->number(), 100.0);
+  EXPECT_NE(svc->find("p99"), nullptr);
+  EXPECT_NE(reg.render_text().find("svc"), std::string::npos);
+}
+
 // --- TraceSink ---------------------------------------------------------------
 
 TEST(TraceSink, SpansNestAndRoundTripAsChromeTrace) {
@@ -137,6 +175,29 @@ TEST(TraceSink, FiltersCategoriesAndCountsDrops) {
     sink.instant(obs::kCatProtocol, obs::kPidProtocol, 0, static_cast<double>(i), "m");
   EXPECT_EQ(sink.events(), 3u);
   EXPECT_EQ(sink.dropped(), 2u);
+
+  // The written document carries the loss metadata, so a truncated trace is
+  // never mistaken for a complete one.
+  std::ostringstream out;
+  sink.write(out);
+  const std::optional<obs::Json> doc = obs::Json::parse(out.str());
+  ASSERT_TRUE(doc.has_value());
+  const obs::Json* other = doc->find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->find("dropped")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(other->find("events")->number(), 3.0);
+  EXPECT_DOUBLE_EQ(other->find("categories")->number(),
+                   static_cast<double>(obs::kCatProtocol));
+
+  // publish_drops mirrors the count into the registry exactly once per drop,
+  // however many times a flush path calls it.
+  obs::Registry reg;
+  sink.publish_drops(reg);
+  sink.publish_drops(reg);
+  EXPECT_EQ(reg.counter("obs.trace.dropped").value(), 2u);
+  sink.instant(obs::kCatProtocol, obs::kPidProtocol, 0, 9.0, "m");  // drops a 3rd
+  sink.publish_drops(reg);
+  EXPECT_EQ(reg.counter("obs.trace.dropped").value(), 3u);
 }
 
 TEST(TraceSink, DefaultCategoriesExcludeEngineDispatch) {

@@ -1,0 +1,93 @@
+// aio_diff: compare two aio-report-v1 documents under tolerances (CI gate).
+//
+//   aio_diff <base.json> <current.json> [--rel F] [--abs F]
+//            [--ignore KEY]... [--no-default-ignore]
+//
+// Every numeric leaf present in base must match current within
+// max(abs, rel * |base|); strings and shapes must match exactly.  Keys named
+// by --ignore (plus the built-in detail tables unless --no-default-ignore)
+// are skipped at any depth.  Exit codes: 0 within tolerance, 1 regression
+// (violations are listed on stderr), 2 usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/analysis.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <base.json> <current.json> [--rel F] [--abs F] "
+               "[--ignore KEY]... [--no-default-ignore]\n",
+               argv0);
+  return 2;
+}
+
+std::optional<aio::obs::Json> load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return aio::obs::Json::parse(buf.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path, cur_path;
+  aio::obs::DiffOptions opts;
+  std::vector<std::string> extra_ignore;
+  bool default_ignore = true;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--rel") == 0) {
+      if (++i >= argc) return usage(argv[0]);
+      opts.rel = std::atof(argv[i]);
+    } else if (std::strcmp(arg, "--abs") == 0) {
+      if (++i >= argc) return usage(argv[0]);
+      opts.abs = std::atof(argv[i]);
+    } else if (std::strcmp(arg, "--ignore") == 0) {
+      if (++i >= argc) return usage(argv[0]);
+      extra_ignore.emplace_back(argv[i]);
+    } else if (std::strcmp(arg, "--no-default-ignore") == 0) {
+      default_ignore = false;
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (base_path.empty()) {
+      base_path = arg;
+    } else if (cur_path.empty()) {
+      cur_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (base_path.empty() || cur_path.empty()) return usage(argv[0]);
+  if (!default_ignore) opts.ignore.clear();
+  opts.ignore.insert(opts.ignore.end(), extra_ignore.begin(), extra_ignore.end());
+
+  const auto base = load_json(base_path);
+  if (!base) {
+    std::fprintf(stderr, "aio_diff: cannot load %s\n", base_path.c_str());
+    return 2;
+  }
+  const auto cur = load_json(cur_path);
+  if (!cur) {
+    std::fprintf(stderr, "aio_diff: cannot load %s\n", cur_path.c_str());
+    return 2;
+  }
+
+  const auto violations = aio::obs::diff_reports(*base, *cur, opts);
+  if (violations.empty()) {
+    std::printf("aio_diff: reports agree (rel=%g abs=%g)\n", opts.rel, opts.abs);
+    return 0;
+  }
+  std::fprintf(stderr, "aio_diff: %zu violation(s) (rel=%g abs=%g):\n", violations.size(),
+               opts.rel, opts.abs);
+  for (const std::string& v : violations) std::fprintf(stderr, "  %s\n", v.c_str());
+  return 1;
+}
