@@ -5,29 +5,23 @@
 // falls back to its default, instead of silently running a different
 // experiment than the one the user thought they configured
 // (`AIO_BENCH_SAMPLES=4O` — a typo'd letter O — used to atol() to 4).
+// The strict parsers themselves live in src/obs/env.hpp so library-side
+// knobs (AIO_LIVE, AIO_FLIGHT_RECORDS, ...) get the same hardening; this
+// header keeps the bench-flavoured aliases and the MAX_PROCS sweep helpers.
 #pragma once
 
-#include <cerrno>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <initializer_list>
 
+#include "obs/env.hpp"
+
 namespace aio::bench {
 
 /// Positive integer from the environment; `fallback` when unset or invalid.
 inline std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long parsed = std::strtol(v, &end, 10);
-  if (errno != 0 || end == v || *end != '\0' || parsed <= 0) {
-    std::fprintf(stderr, "bench: ignoring %s=\"%s\" (want a positive integer); using %zu\n", name,
-                 v, fallback);
-    return fallback;
-  }
-  return static_cast<std::size_t>(parsed);
+  return obs::env_size(name, fallback);
 }
 
 /// Largest writer count a bench may run, from `AIO_BENCH_MAX_PROCS`.
@@ -66,17 +60,7 @@ inline void warn_unreached_max_procs(std::size_t cap, std::initializer_list<std:
 
 /// Positive double from the environment; `fallback` when unset or invalid.
 inline double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const double parsed = std::strtod(v, &end);
-  if (errno != 0 || end == v || *end != '\0' || !(parsed > 0.0)) {
-    std::fprintf(stderr, "bench: ignoring %s=\"%s\" (want a positive number); using %g\n", name, v,
-                 fallback);
-    return fallback;
-  }
-  return parsed;
+  return obs::env_double(name, fallback);
 }
 
 }  // namespace aio::bench

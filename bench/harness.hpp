@@ -23,6 +23,14 @@
 //                        ("-" or "1" = summary only)
 //   AIO_OBS_PERIOD_S     sampling period for per-OST series (default 1.0)
 //   AIO_OBS_OSTS         per-OST probe limit (default 32)
+//   AIO_LIVE             online telemetry plane per machine: a path streams
+//                        aio-live-v1 snapshot rows, "-" or "1" = query-only
+//   AIO_LIVE_PERIOD_S    live snapshot cadence in sim seconds (default 1.0)
+//   AIO_LIVE_WINDOW_S    sliding-window slot width in sim seconds (default 1.0)
+//   AIO_LIVE_SLOTS       sliding-window slot count (default 16)
+//   AIO_FLIGHT           flight recorder: bounded journal ring dumped to this
+//                        path on watchdog abort (readable by tools/aio_report)
+//   AIO_FLIGHT_RECORDS   flight-recorder ring capacity (default 65536)
 #pragma once
 
 #include <atomic>
@@ -44,6 +52,7 @@
 #include "net/network.hpp"
 #include "obs/analysis.hpp"
 #include "obs/journal.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -76,6 +85,7 @@ struct Machine {
   std::unique_ptr<obs::TraceSink> trace;
   std::unique_ptr<obs::Registry> metrics;
   std::unique_ptr<obs::Journal> journal;
+  std::unique_ptr<obs::LivePlane> live;
   sim::Engine engine;
   fs::FileSystem filesystem;
   net::Network network;
@@ -94,7 +104,8 @@ struct Machine {
         trace(obs::TraceSink::from_env(obs_slot)),
         metrics(metrics_from_env()),
         journal(obs::Journal::from_env(obs_slot)),
-        engine(trace.get(), metrics.get(), journal.get()),
+        live(obs::LivePlane::from_env(obs_slot)),
+        engine(trace.get(), metrics.get(), journal.get(), live.get()),
         filesystem(engine, spec.fs),
         network(engine,
                 net::NetConfig{spec.msg_latency_s, spec.nic_bw, spec.cores_per_node},
@@ -107,6 +118,7 @@ struct Machine {
       filesystem.register_probes(*sampler, env_size("AIO_OBS_OSTS", 32));
       arm_sampler();
     }
+    if (live && live->snapshot_enabled()) arm_live();
     if (with_load) {
       load.emplace(engine, sim::Rng(seed).fork(1), spec.load, filesystem.ost_pointers());
       load->start();
@@ -133,6 +145,17 @@ struct Machine {
       report_flushed_ = true;
       (void)journal->write();
       (void)obs::flush_report(*journal, obs_slot_);
+    }
+    if (live) live->flush();
+    // Export the drop counters once per machine so the bench JSON records
+    // whether any observability channel lost data (flush-fix satellite).
+    if ((trace || journal || live) && !drops_published_) {
+      drops_published_ = true;
+      ObsDropTotals& totals = obs_drop_totals();
+      if (trace) totals.trace.fetch_add(trace->dropped(), std::memory_order_relaxed);
+      if (journal) totals.journal.fetch_add(journal->dropped(), std::memory_order_relaxed);
+      if (live) totals.live_rows.fetch_add(live->rows_dropped(), std::memory_order_relaxed);
+      totals.published.store(true, std::memory_order_relaxed);
     }
     if (!metrics) return;
     if (const char* path = std::getenv("AIO_METRICS"); path && *path) {
@@ -192,9 +215,14 @@ struct Machine {
       for (const auto& [name, c] : metrics->counters())
         msg += " " + name + "=" + std::to_string(c.value());
     }
+    // Capture the metrics tail between the last daemon tick and the abort
+    // instant, then write everything out before throwing.
+    if (sampler) sampler->tick(engine.now());
     flush_obs();
     if (trace && !trace->config().path.empty())
       msg += "; trace dumped to " + trace->config().path;
+    if (live && live->flight_enabled() && live->dump_flight())
+      msg += "; flight recorder dumped to " + live->config().flight_path;
     throw std::runtime_error(msg);
   }
 
@@ -205,9 +233,17 @@ struct Machine {
     });
   }
 
+  void arm_live() {
+    engine.schedule_daemon_after(live->config().snapshot_period_s, [this] {
+      live->snapshot_tick(engine.now());
+      arm_live();
+    });
+  }
+
   std::string metrics_path_;
   int obs_slot_ = -1;
   bool report_flushed_ = false;
+  bool drops_published_ = false;
 };
 
 inline void banner(const char* binary, const char* reproduces, const char* setup) {

@@ -16,6 +16,7 @@
 // trims the sweep, see bench/env.hpp), AIO_BENCH_MAX_STEPS, AIO_BENCH_JSON.
 #include <chrono>
 #include <cinttypes>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -71,12 +72,14 @@ struct RunCost {
 /// charges the job, the network, the transport, and every live index to the
 /// scale that allocated them.
 RunCost run_one(const fs::MachineSpec& spec, const workload::Pixie3dConfig& model,
-                std::size_t procs, bool adaptive, obs::Journal* journal) {
+                std::size_t procs, bool adaptive, obs::Journal* journal,
+                obs::LivePlane* live) {
   const std::uint64_t rss0 = current_rss_bytes();
   const auto t0 = std::chrono::steady_clock::now();
 
   sim::Engine engine;
   engine.set_journal(journal);
+  engine.set_live(live);
   fs::FileSystem filesystem(engine, spec.fs);
   std::optional<net::Network> network;
   std::unique_ptr<core::Transport> transport;
@@ -94,6 +97,18 @@ RunCost run_one(const fs::MachineSpec& spec, const workload::Pixie3dConfig& mode
     transport = std::make_unique<core::MpiioTransport>(filesystem, cfg);
   }
 
+  // Periodic aio-live-v1 rows, same daemon pattern as the harness machines.
+  std::function<void()> arm_live;
+  if (live && live->snapshot_enabled()) {
+    arm_live = [&engine, live, &arm_live] {
+      engine.schedule_daemon_after(live->config().snapshot_period_s, [&] {
+        live->snapshot_tick(engine.now());
+        arm_live();
+      });
+    };
+    arm_live();
+  }
+
   const core::IoJob job = workload::pixie3d_job(model, procs);
   std::optional<core::IoResult> result;
   transport->run(job, [&](core::IoResult r) { result = std::move(r); });
@@ -102,9 +117,16 @@ RunCost run_one(const fs::MachineSpec& spec, const workload::Pixie3dConfig& mode
     engine.run();
   else
     engine.run(max_steps);
-  if (!result)
+  if (!result) {
+    // Leave the evidence behind before aborting: the flight recorder holds
+    // the last records leading up to the hang, readable by tools/aio_report.
+    if (live) {
+      live->flush();
+      if (live->flight_enabled()) (void)live->dump_flight();
+    }
     throw std::runtime_error("macro_jaguar: " + transport->name() +
                              " did not complete at " + std::to_string(procs) + " writers");
+  }
 
   RunCost cost;
   cost.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -137,6 +159,9 @@ int main() {
   // time); each adaptive run appends its own kRunBegin..kComplete span.
   const std::unique_ptr<obs::Journal> journal = obs::Journal::from_env(0);
   if (journal) journal->reserve(1 << 20);
+  // One live plane the same way: the overhead it adds (or doesn't) is the
+  // number this bench exists to measure, so it rides through every run.
+  const std::unique_ptr<obs::LivePlane> live = obs::LivePlane::from_env(0);
 
   stats::Table table(
       {"writers", "transport", "wall s", "sim s", "Mevents/s", "rss delta", "B/writer"});
@@ -152,7 +177,7 @@ int main() {
       stats::Summary wall;
       RunCost last;
       for (std::size_t s = 0; s < samples; ++s) {
-        last = run_one(spec, model, procs, adaptive, journal.get());
+        last = run_one(spec, model, procs, adaptive, journal.get(), live.get());
         wall.add(last.wall_s);
       }
       const double bytes_per_writer =
@@ -181,5 +206,6 @@ int main() {
     (void)journal->write();
     (void)obs::flush_report(*journal, 0);
   }
+  if (live) live->flush();
   return 0;
 }

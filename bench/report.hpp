@@ -24,6 +24,7 @@
 //   }
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +60,23 @@ inline std::uint64_t peak_rss_bytes() {
 #else
   return 0;
 #endif
+}
+
+/// Process-wide observability-drop totals, accumulated once per machine when
+/// it flushes (bench::Machine::flush_obs) and exported into the bench JSON.
+/// `published` stays false while no machine carried an observability hook,
+/// so env-unset runs emit byte-identical reports.  Atomics because machines
+/// flush from the replication pool's threads (AIO_BENCH_THREADS > 1).
+struct ObsDropTotals {
+  std::atomic<std::uint64_t> trace{0};       ///< trace events over the buffer cap
+  std::atomic<std::uint64_t> journal{0};     ///< journal records over max_records
+  std::atomic<std::uint64_t> live_rows{0};   ///< live snapshot rows that failed to write
+  std::atomic<bool> published{false};
+};
+
+inline ObsDropTotals& obs_drop_totals() {
+  static ObsDropTotals totals;
+  return totals;
 }
 
 class Report {
@@ -155,6 +173,16 @@ class Report {
     doc.set("peak_rss_bytes", obs::Json(rss));
     if (const obs::Json* procs = config_.find("max_procs"); procs && procs->number() > 0.0)
       doc.set("peak_rss_bytes_per_proc", obs::Json(rss / procs->number()));
+    if (const ObsDropTotals& drops = obs_drop_totals();
+        drops.published.load(std::memory_order_relaxed)) {
+      obs::Json d = obs::Json::object();
+      d.set("trace", obs::Json(static_cast<double>(drops.trace.load(std::memory_order_relaxed))));
+      d.set("journal",
+            obs::Json(static_cast<double>(drops.journal.load(std::memory_order_relaxed))));
+      d.set("live_rows",
+            obs::Json(static_cast<double>(drops.live_rows.load(std::memory_order_relaxed))));
+      doc.set("obs_drops", std::move(d));
+    }
     obs::Json rows = obs::Json::array();
     for (const Row& r : rows_) {
       obs::Json row = obs::Json::object();

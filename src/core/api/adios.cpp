@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/analysis.hpp"
+#include "obs/env.hpp"
 
 namespace aio::api {
 
@@ -100,7 +101,8 @@ Simulation::Simulation(fs::MachineSpec spec, std::uint64_t seed, Options options
       options_(options),
       trace_(obs::TraceSink::from_env()),
       journal_(obs::Journal::from_env()),
-      engine_(trace_.get(), &metrics_, journal_.get()),
+      live_(obs::LivePlane::from_env()),
+      engine_(trace_.get(), &metrics_, journal_.get(), live_.get()),
       rng_(seed) {
   fs_ = std::make_unique<fs::FileSystem>(engine_, spec_.fs);
   net::NetConfig nc;
@@ -123,6 +125,7 @@ Simulation::Simulation(fs::MachineSpec spec, std::uint64_t seed, Options options
     fs_->register_probes(*sampler_, options_.metrics_per_ost);
     arm_sampler();
   }
+  if (live_ && live_->snapshot_enabled()) arm_live();
 }
 
 void Simulation::arm_sampler() {
@@ -134,14 +137,37 @@ void Simulation::arm_sampler() {
   });
 }
 
-Simulation::~Simulation() {
-  if (job_ && job_->running()) job_->stop();
-  if (trace_) trace_->write();
-  if (trace_) trace_->publish_drops(metrics_);
+void Simulation::arm_live() {
+  // Same daemon pattern as the sampler: one aio-live-v1 row per period.
+  engine_.schedule_daemon_after(live_->config().snapshot_period_s, [this] {
+    live_->snapshot_tick(engine_.now());
+    arm_live();
+  });
+}
+
+void Simulation::flush_obs(bool aborted) {
+  if (obs_flushed_) return;
+  obs_flushed_ = true;
+  // An aborted run would otherwise lose the metrics tail between the last
+  // daemon tick and the failure instant.
+  if (aborted && sampler_) sampler_->tick(engine_.now());
+  if (trace_) {
+    trace_->write();
+    trace_->publish_drops(metrics_);
+  }
   if (journal_) {
     (void)journal_->write();
     (void)obs::flush_report(*journal_);
   }
+  if (live_) {
+    live_->flush();
+    if (aborted && live_->flight_enabled()) (void)live_->dump_flight();
+  }
+}
+
+Simulation::~Simulation() {
+  if (job_ && job_->running()) job_->stop();
+  flush_obs(/*aborted=*/false);
 }
 
 void Simulation::advance(double seconds) { engine_.run_until(engine_.now() + seconds); }
@@ -207,8 +233,16 @@ core::IoResult Simulation::write_step(const IoGroup& group, Method method,
     done = true;
     if (job_) job_->stop();
   });
-  engine_.run();
+  // AIO_BENCH_MAX_STEPS arms the engine watchdog: the step bounds a hung
+  // protocol instead of spinning forever, and the failure path below still
+  // flushes every observability artifact (including the flight recorder).
+  static const std::size_t max_steps = obs::env_size("AIO_BENCH_MAX_STEPS", 0);
+  if (max_steps > 0)
+    engine_.run(max_steps);
+  else
+    engine_.run();
   if (!done) {
+    flush_obs(/*aborted=*/true);
     throw std::runtime_error(
         "Simulation::write_step: transport did not complete (event queue drained at t=" +
         std::to_string(engine_.now()) + "s after " + std::to_string(engine_.steps()) +

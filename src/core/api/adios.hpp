@@ -33,6 +33,7 @@
 #include "fs/machine.hpp"
 #include "net/network.hpp"
 #include "obs/journal.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -148,9 +149,21 @@ class Simulation {
   /// Run journal built from AIO_JOURNAL/AIO_REPORT, or null.  Written (and
   /// its analysis report emitted) on destruction.
   [[nodiscard]] obs::Journal* journal() { return journal_.get(); }
+  /// Live telemetry plane built from AIO_LIVE/AIO_FLIGHT, or null.
+  [[nodiscard]] obs::LivePlane* live() { return live_.get(); }
+  /// Current live-plane snapshot (zeroed when no plane is attached).
+  [[nodiscard]] obs::LiveView live_view() const {
+    return live_ ? live_->view() : obs::LiveView{};
+  }
 
  private:
   void arm_sampler();
+  void arm_live();
+  /// Writes out every observability artifact exactly once: trace, journal +
+  /// report, live snapshot tail — and, on an aborted run, a final sampler
+  /// tick plus the flight-recorder dump.  The failure path and the
+  /// destructor both land here; the latch keeps the second call a no-op.
+  void flush_obs(bool aborted);
 
   fs::MachineSpec spec_;
   Options options_;
@@ -158,7 +171,9 @@ class Simulation {
   // pointers at construction.
   std::unique_ptr<obs::TraceSink> trace_;
   std::unique_ptr<obs::Journal> journal_;
+  std::unique_ptr<obs::LivePlane> live_;
   obs::Registry metrics_;
+  bool obs_flushed_ = false;
   sim::Engine engine_;
   sim::Rng rng_;
   std::unique_ptr<fs::FileSystem> fs_;

@@ -10,6 +10,7 @@
 #include "core/protocol/subcoordinator_fsm.hpp"
 #include "core/protocol/writer_pool.hpp"
 #include "obs/journal.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -54,6 +55,7 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
   obs::TraceSink* trace = nullptr;
   obs::Registry* metrics = nullptr;
   obs::Journal* journal = nullptr;
+  obs::LivePlane* live = nullptr;
   std::uint32_t journal_run = 0;  ///< this run's id within the journal
 
   AdaptiveRun(fs::FileSystem& f, net::Network& n, AdaptiveTransport::Config c, Topology t)
@@ -62,6 +64,14 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
     if (trace && !trace->wants(obs::kCatProtocol)) trace = nullptr;
     metrics = fs.engine().metrics();
     journal = fs.engine().journal();
+    live = fs.engine().live();
+  }
+
+  /// Journal and live plane consume the same records; one gate, one emit.
+  [[nodiscard]] bool observing() const { return journal || live; }
+  void obs_append(const obs::Record& r) {
+    if (journal) journal->append(r);
+    if (live) live->ingest(r);
   }
 
   void begin(const IoJob& job);
@@ -81,7 +91,7 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
     r.a = static_cast<std::uint8_t>(mark);
     r.v0 = v0;
     r.v1 = v1;
-    journal->append(r);
+    obs_append(r);
   }
 
   [[nodiscard]] SubCoordinatorFsm& sc_at(Rank rank) {
@@ -139,8 +149,19 @@ void AdaptiveRun::begin(const IoJob& job) {
     cc.sc_of = sc_of;
     cc.rank = Topology::coordinator_rank();
     cc.stealing_enabled = cfg.stealing;
-    cc.steal_source = cfg.steal_most_remaining ? CoordinatorFsm::StealSource::MostRemaining
-                                               : CoordinatorFsm::StealSource::RoundRobin;
+    cc.steal_source = cfg.steal_straggler && live ? CoordinatorFsm::StealSource::Straggler
+                      : cfg.steal_most_remaining  ? CoordinatorFsm::StealSource::MostRemaining
+                                                  : CoordinatorFsm::StealSource::RoundRobin;
+    if (cc.steal_source == CoordinatorFsm::StealSource::Straggler) {
+      // Close the observability loop: rank steal sources by the live
+      // straggler score of the OST each group's file is pinned to.
+      cc.straggler_score_of = [this](GroupId grp) {
+        const auto file = static_cast<std::size_t>(grp);
+        const std::size_t ost = cfg.targets.empty() ? (cfg.first_ost + file) % fs.n_osts()
+                                                    : cfg.targets[file] % fs.n_osts();
+        return live->straggler_score(static_cast<std::uint32_t>(ost));
+      };
+    }
     cc.retain_global_index = cfg.retain_global_index;
     coord.emplace(std::move(cc));
   }
@@ -151,8 +172,8 @@ void AdaptiveRun::begin(const IoJob& job) {
     if (!cfg.targets.empty()) return cfg.targets[file] % fs.n_osts();
     return (cfg.first_ost + file) % fs.n_osts();
   };
-  if (journal) {
-    journal_run = journal->begin_run();
+  if (observing()) {
+    journal_run = journal ? journal->begin_run() : 0;
     obs::Record r;
     r.kind = obs::Rec::kRunBegin;
     r.t = result.t_begin;
@@ -160,7 +181,7 @@ void AdaptiveRun::begin(const IoJob& job) {
     r.u0 = static_cast<std::uint32_t>(n);
     r.u1 = static_cast<std::uint32_t>(g);
     r.u2 = static_cast<std::uint32_t>(fs.n_osts());
-    journal->append(r);
+    obs_append(r);
     for (std::size_t f = 0; f < g; ++f) {
       obs::Record m;
       m.kind = obs::Rec::kFileMap;
@@ -168,7 +189,7 @@ void AdaptiveRun::begin(const IoJob& job) {
       m.id = journal_run;
       m.u0 = static_cast<std::uint32_t>(f);
       m.u1 = static_cast<std::uint32_t>(ost_of_file(f));
-      journal->append(m);
+      obs_append(m);
     }
   }
   const std::string base = "adaptive";
@@ -206,7 +227,7 @@ void AdaptiveRun::begin(const IoJob& job) {
 }
 
 void AdaptiveRun::start_protocol() {
-  if (journal) journal_mark(obs::Mark::kOpenDone);
+  if (observing()) journal_mark(obs::Mark::kOpenDone);
   for (GroupId grp = 0; grp < static_cast<GroupId>(topo.n_groups()); ++grp) {
     execute(topo.sc_rank(grp), scs[static_cast<std::size_t>(grp)].start());
   }
@@ -219,7 +240,7 @@ void AdaptiveRun::trace_steal_grant(const SendAction& send) {
   const auto* grant = std::get_if<AdaptiveWriteStart>(&send.msg.body);
   if (!grant) return;
   if (metrics) metrics->counter("protocol.steal_grants").add();
-  if (journal) {
+  if (observing()) {
     const GroupId src = topo.group_of(send.to);
     obs::Record r;
     r.kind = obs::Rec::kStealGrant;
@@ -229,7 +250,7 @@ void AdaptiveRun::trace_steal_grant(const SendAction& send) {
     r.u1 = static_cast<std::uint32_t>(grant->target_file);
     r.v0 = grant->offset;
     r.v1 = static_cast<double>(coord->remaining_writers(src));
-    journal->append(r);
+    obs_append(r);
   }
   if (!trace) return;
   const GroupId source = topo.group_of(send.to);
@@ -247,7 +268,7 @@ void AdaptiveRun::trace_steal_grant(const SendAction& send) {
 
 void AdaptiveRun::trace_steal_complete(const WriteComplete& msg) {
   if (metrics) metrics->counter("protocol.steals").add();
-  if (journal) {
+  if (observing()) {
     obs::Record r;
     r.kind = obs::Rec::kStealComplete;
     r.t = fs.engine().now();
@@ -256,7 +277,7 @@ void AdaptiveRun::trace_steal_complete(const WriteComplete& msg) {
     r.u1 = static_cast<std::uint32_t>(msg.file);
     r.u2 = static_cast<std::uint32_t>(msg.writer);
     r.v0 = msg.bytes;
-    journal->append(r);
+    obs_append(r);
   }
   if (!trace) return;
   trace->instant(
@@ -284,7 +305,8 @@ void AdaptiveRun::deliver(Rank to, const Message& msg) {
       metrics->counter("protocol.busy_declines").add();
   }
   if (const auto* wc = std::get_if<WriteComplete>(&msg.body);
-      wc && wc->kind == WriteComplete::Kind::AdaptiveDone && (trace || metrics || journal)) {
+      wc && wc->kind == WriteComplete::Kind::AdaptiveDone &&
+      (trace || metrics || journal || live)) {
     trace_steal_complete(*wc);
   }
   // Route by message type + destination role: writers get DO_WRITE, the
@@ -317,9 +339,9 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
   auto self = shared_from_this();
   for (auto& action : actions) {
     if (auto* send = std::get_if<SendAction>(&action)) {
-      if ((trace || metrics || journal) && from == Topology::coordinator_rank())
+      if ((trace || metrics || journal || live) && from == Topology::coordinator_rank())
         trace_steal_grant(*send);
-      if (journal) {
+      if (observing()) {
         // A DO_WRITE leaving an SC is the writer's release from its queue;
         // the gap to the matching kWriterStart is pure network latency.
         if (const auto* dw = std::get_if<DoWrite>(&send->msg.body)) {
@@ -332,7 +354,7 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
           r.u1 = static_cast<std::uint32_t>(home);
           r.u2 = static_cast<std::uint32_t>(dw->grant_seq);
           r.a = dw->target_file != home ? 1 : 0;
-          journal->append(r);
+          obs_append(r);
         }
       }
       const Rank to = send->to;
@@ -351,14 +373,14 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
                       {"bytes", obs::Json(write->bytes)}});
       }
       const auto file = static_cast<std::uint32_t>(write->file);
-      if (journal) {
+      if (observing()) {
         obs::Record r;
         r.kind = obs::Rec::kWriterStart;
         r.t = fs.engine().now();
         r.id = static_cast<std::uint32_t>(from);
         r.u0 = file;
         r.v0 = write->bytes;
-        journal->append(r);
+        obs_append(r);
       }
       files.at(static_cast<std::size_t>(write->file))
           ->write(write->offset, write->bytes, data_mode, [self, from, file](sim::Time now) {
@@ -367,13 +389,13 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
               self->trace->end(obs::kCatProtocol, obs::kPidProtocol,
                                static_cast<std::uint32_t>(from), now);
             }
-            if (self->journal) {
+            if (self->observing()) {
               obs::Record r;
               r.kind = obs::Rec::kWriterEnd;
               r.t = now;
               r.id = static_cast<std::uint32_t>(from);
               r.u0 = file;
-              self->journal->append(r);
+              self->obs_append(r);
             }
             self->execute(from, self->writers->on_write_done(from));
           });
@@ -416,7 +438,7 @@ void AdaptiveRun::all_roles_done() {
   result.t_data_done = fs.engine().now();
   result.steals = coord->total_steals();
   result.grants_issued = coord->grants_issued();
-  if (journal) journal_mark(obs::Mark::kDataDone);
+  if (observing()) journal_mark(obs::Mark::kDataDone);
   if (metrics) {
     metrics->counter("protocol.runs").add();
     metrics->gauge("protocol.last_steals").set(static_cast<double>(result.steals));
@@ -446,7 +468,7 @@ void AdaptiveRun::all_roles_done() {
 
 void AdaptiveRun::finish(sim::Time now) {
   result.t_complete = now;
-  if (journal)
+  if (observing())
     journal_mark(obs::Mark::kComplete, static_cast<double>(result.steals),
                  static_cast<double>(result.grants_issued));
   if (metrics) metrics->histogram("protocol.run_s").add(result.t_complete - result.t_begin);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/journal.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -47,14 +48,15 @@ void MetadataServer::dispatch() {
                  {{"queued_behind", obs::Json(static_cast<double>(queue_.size()))},
                   {"service_s", obs::Json(service)}});
   }
-  if (auto* journal = engine_.journal()) {
+  if (engine_.observing_records()) {
     obs::Record r;
     r.kind = obs::Rec::kMdsOp;
     r.t = engine_.now();
     r.a = static_cast<std::uint8_t>(in_service_.kind);
     r.u0 = static_cast<std::uint32_t>(queue_.size());
     r.v0 = service;
-    journal->append(r);
+    if (auto* journal = engine_.journal()) journal->append(r);
+    if (auto* live = engine_.live()) live->ingest(r);
   }
   // The in-service request stays in `in_service_` rather than riding in the
   // closure: the event then captures one pointer and an open storm's worth

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/journal.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -135,6 +136,7 @@ void Ost::set_load(double net_load, double disk_load) {
   advance();
   net_load_ = net_load;
   disk_load_ = disk_load;
+  ++load_seq_;
   recompute();
 }
 
@@ -177,7 +179,15 @@ void Ost::recompute() {
       config_.disk_bw * (1.0 - disk_load_) * efficiency(std::max<std::size_t>(m_dirty, 1));
   const double share = m_dirty > 0 ? disk_total / static_cast<double>(m_dirty) : disk_total;
   const bool cache_full = q >= config_.cache_bytes - kEps;
-  if (engine_.trace() || engine_.journal()) observe_state(q, m_dirty, cache_full);
+  if (engine_.trace()) trace_state(q, m_dirty, cache_full);
+  // Dedup inline: recompute() runs ~20x per emitted record, so the observed
+  // tuple is compared here and the out-of-line emit runs only on a change.
+  if (engine_.observing_records()) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(m_dirty) << 33) |
+                              (static_cast<std::uint64_t>(load_seq_) << 1) |
+                              (cache_full ? 1u : 0u);
+    if (key != journaled_key_) observe_state(m_dirty, cache_full, key);
+  }
 
   double r = 0.0;
   if (n_ingest > 0 && net_total > 0.0) {
@@ -267,17 +277,11 @@ void Ost::recompute() {
   }
 }
 
-void Ost::observe_state(double q, std::size_t m_dirty, bool cache_full) {
-  if (engine_.trace()) trace_state(q, m_dirty, cache_full);
-  obs::Journal* journal = engine_.journal();
-  if (!journal) return;
-  if (cache_full == journaled_cache_full_ && m_dirty == journaled_m_dirty_ &&
-      net_load_ == journaled_net_load_ && disk_load_ == journaled_disk_load_)
-    return;
-  journaled_cache_full_ = cache_full;
-  journaled_m_dirty_ = m_dirty;
-  journaled_net_load_ = net_load_;
-  journaled_disk_load_ = disk_load_;
+void Ost::observe_state(std::size_t m_dirty, bool cache_full, std::uint64_t key) {
+  // Journal and live plane share one dedup (the caller's inline compare):
+  // both see the same step function, which keeps the live load integrals
+  // equal to the analyzer's rebuild.
+  journaled_key_ = key;
   obs::Record r;
   r.kind = obs::Rec::kOstState;
   r.t = engine_.now();
@@ -287,7 +291,8 @@ void Ost::observe_state(double q, std::size_t m_dirty, bool cache_full) {
   r.v0 = efficiency(std::max<std::size_t>(m_dirty, 1));
   r.v1 = net_load_;
   r.v2 = disk_load_;
-  journal->append(r);
+  if (obs::Journal* journal = engine_.journal()) journal->append(r);
+  if (obs::LivePlane* live = engine_.live()) live->ingest(r);
 }
 
 void Ost::trace_state(double q, std::size_t m_dirty, bool cache_full) {

@@ -136,11 +136,11 @@ class Ost {
   void insert_op(OpId id, Op op);       ///< adds an op, reusing a spare node
   void retire_op(OpMap::iterator it);   ///< removes an op, parking its node
   [[nodiscard]] bool flush_ready() const;
-  /// Observability fan-out, called from recompute with its derived state:
-  /// trace transitions when a sink is installed, journal records when a run
-  /// journal is installed.  Each has its own last-emitted state so enabling
-  /// one never perturbs the other's dedup.
-  void observe_state(double q, std::size_t m_dirty, bool cache_full);
+  /// Emits one kOstState record to the journal and live plane.  recompute()
+  /// dedups inline against journaled_key_ before calling, so this only runs
+  /// on an actual state transition; trace_state keeps its own last-emitted
+  /// state so enabling one consumer never perturbs the other.
+  void observe_state(std::size_t m_dirty, bool cache_full, std::uint64_t key);
   /// Emits cache-full / dirty-stream transition events onto the trace sink.
   void trace_state(double q, std::size_t m_dirty, bool cache_full);
 
@@ -188,12 +188,13 @@ class Ost {
   std::size_t traced_m_dirty_ = 0;
   std::string trace_name_;  // "ost<i>", built lazily on first traced event
 
-  // Last journaled state; loads start at -1 so the first journaled recompute
-  // always records the OST's initial condition.
-  bool journaled_cache_full_ = false;
-  std::size_t journaled_m_dirty_ = 0;
-  double journaled_net_load_ = -1.0;
-  double journaled_disk_load_ = -1.0;
+  // Last journaled state, packed so the per-recompute dedup is one 64-bit
+  // compare: m_dirty (31 bits) | load_seq (32 bits) | cache_full (1 bit).
+  // The external loads only move through set_load(), so a sequence number
+  // stands in for the two doubles.  ~0 makes the first observed recompute
+  // always record the OST's initial condition.
+  std::uint64_t journaled_key_ = ~std::uint64_t{0};
+  std::uint32_t load_seq_ = 0;  ///< bumped by set_load()
 };
 
 }  // namespace aio::fs

@@ -1,0 +1,50 @@
+// Strict environment-variable parsing, shared by the library's
+// observability knobs (AIO_LIVE window geometry, flight-recorder capacity)
+// and the bench binaries (bench/env.hpp forwards here).
+//
+// Strict by design: a value that fails to parse (trailing junk, overflow,
+// non-positive) is *rejected with a one-line stderr warning* and the caller
+// falls back to its default, instead of silently running a different
+// experiment than the one the user thought they configured
+// (`AIO_BENCH_SAMPLES=4O` — a typo'd letter O — used to atol() to 4).
+// Warnings go to stderr only, so stdout stays byte-comparable across runs.
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+
+namespace aio::obs {
+
+/// Positive integer from the environment; `fallback` when unset or invalid.
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || parsed <= 0) {
+    std::fprintf(stderr, "aio: ignoring %s=\"%s\" (want a positive integer); using %zu\n", name,
+                 v, fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Positive double from the environment; `fallback` when unset or invalid.
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v, &end);
+  if (errno != 0 || end == v || *end != '\0' || !(parsed > 0.0)) {
+    std::fprintf(stderr, "aio: ignoring %s=\"%s\" (want a positive number); using %g\n", name, v,
+                 fallback);
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace aio::obs
