@@ -10,10 +10,12 @@
 // header keeps the bench-flavoured aliases and the MAX_PROCS sweep helpers.
 #pragma once
 
+#include <cerrno>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <initializer_list>
+#include <vector>
 
 #include "obs/env.hpp"
 
@@ -61,6 +63,48 @@ inline void warn_unreached_max_procs(std::size_t cap, std::initializer_list<std:
 /// Positive double from the environment; `fallback` when unset or invalid.
 inline double env_double(const char* name, double fallback) {
   return obs::env_double(name, fallback);
+}
+
+/// Shard-count sweep from `AIO_SIM_SHARDS`: a comma-separated list of
+/// positive integers, e.g. `AIO_SIM_SHARDS=1,2,4,8`.  Empty when unset —
+/// benches treat that as "classic engine only", keeping their stdout
+/// byte-identical to a build without sharding.  Same strictness as
+/// env_size: any malformed entry rejects the whole list with a one-line
+/// stderr warning (once per process) rather than running a partial sweep.
+inline std::vector<std::size_t> shard_sweep() {
+  const char* v = std::getenv("AIO_SIM_SHARDS");
+  if (!v || !*v) return {};
+  static bool warned = false;
+  std::vector<std::size_t> out;
+  const char* p = v;
+  for (;;) {
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(p, &end, 10);
+    if (errno != 0 || end == p || parsed <= 0 || (*end != '\0' && *end != ',')) {
+      if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "bench: ignoring AIO_SIM_SHARDS=\"%s\" (want a comma-separated list of "
+                     "positive integers, e.g. 1,2,4,8)\n",
+                     v);
+      }
+      return {};
+    }
+    out.push_back(static_cast<std::size_t>(parsed));
+    if (*end == '\0') return out;
+    p = end + 1;
+  }
+}
+
+/// Largest shard count in the `AIO_SIM_SHARDS` sweep; 1 when unset/invalid.
+/// bench_threads() divides the sample pool by this so sample threads times
+/// shard threads never oversubscribes the host.
+inline std::size_t max_shards() {
+  std::size_t m = 1;
+  for (const std::size_t s : shard_sweep())
+    if (s > m) m = s;
+  return m;
 }
 
 }  // namespace aio::bench

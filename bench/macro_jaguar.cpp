@@ -14,16 +14,26 @@
 // Honours the usual knobs (bench/harness.hpp): AIO_BENCH_SAMPLES,
 // AIO_BENCH_MAX_PROCS (672 groups need at most 224,160 writers — the cap
 // trims the sweep, see bench/env.hpp), AIO_BENCH_MAX_STEPS, AIO_BENCH_JSON.
+//
+// With `AIO_SIM_SHARDS` set (a comma list, e.g. 1,2,8) the adaptive rows
+// additionally sweep the sharded engine at those shard counts: a "shards"
+// column appears, each adaptive row runs through core::ShardedAdaptiveSim,
+// and the JSON rows carry a "shards" value.  Unset, the bench's stdout is
+// byte-identical to a build without sharding.
 #include <chrono>
 #include <cinttypes>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #if defined(__unix__)
 #include <unistd.h>
 #endif
 
+#include "core/transports/sharded.hpp"
 #include "harness.hpp"
 #include "workload/pixie3d.hpp"
 
@@ -138,11 +148,53 @@ RunCost run_one(const fs::MachineSpec& spec, const workload::Pixie3dConfig& mode
   return cost;
 }
 
+/// One cold sharded sample: a ShardedAdaptiveSim sized to `procs` running at
+/// `n_shards` shards.  Per-shard journal records are canonically merged and
+/// re-homed into the bench-wide journal under a fresh run ordinal, so
+/// tools/aio_report reads sharded and classic runs out of one file.
+RunCost run_one_sharded(const fs::MachineSpec& spec, const workload::Pixie3dConfig& model,
+                        std::size_t procs, std::size_t n_shards, obs::Journal* journal) {
+  const std::uint64_t rss0 = current_rss_bytes();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  core::ShardedAdaptiveSim::Config cfg;
+  cfg.n_shards = n_shards;
+  cfg.n_ranks = procs;
+  cfg.fs = spec.fs;
+  cfg.net = net::NetConfig{spec.msg_latency_s, spec.nic_bw, spec.cores_per_node};
+  enable_streamed_merge(cfg.adaptive, 0);  // n_files = 0: one file per OST
+  cfg.collect_journal = journal != nullptr;
+  core::ShardedAdaptiveSim sim(cfg);
+  const core::IoResult result = sim.run(workload::pixie3d_job(model, procs));
+
+  RunCost cost;
+  cost.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  cost.sim_s = result.io_seconds();
+  cost.events_per_s =
+      cost.wall_s > 0.0 ? static_cast<double>(sim.steps()) / cost.wall_s : 0.0;
+  const std::uint64_t rss1 = current_rss_bytes();
+  cost.rss_delta = rss1 > rss0 ? rss1 - rss0 : 0;
+
+  if (journal) {
+    const std::uint32_t run_id = journal->begin_run();
+    for (obs::Record r : sim.merged_records()) {
+      // Run-scoped records carry the per-shard journals' local ordinal (1);
+      // re-home them under the bench journal's run numbering.
+      if (r.kind == obs::Rec::kRunBegin || r.kind == obs::Rec::kRunMark ||
+          r.kind == obs::Rec::kFileMap)
+        r.id = run_id;
+      journal->append(r);
+    }
+  }
+  return cost;
+}
+
 }  // namespace
 
 int main() {
   const std::size_t samples = bench::samples_or(1);
   const std::size_t max_procs = bench::max_procs_or(224160);
+  const std::vector<std::size_t> shard_sweep = bench::shard_sweep();
   bench::warn_unreached_max_procs(max_procs, {16384, 65536, 224160});
   bench::banner("macro_jaguar",
                 "paper-scale weak scaling: simulator cost up to the full 224,160-core Jaguar",
@@ -162,9 +214,43 @@ int main() {
   // One live plane the same way: the overhead it adds (or doesn't) is the
   // number this bench exists to measure, so it rides through every run.
   const std::unique_ptr<obs::LivePlane> live = obs::LivePlane::from_env(0);
+  if (live && !shard_sweep.empty())
+    std::fprintf(stderr,
+                 "macro_jaguar: AIO_LIVE is ignored for sharded adaptive rows "
+                 "(the live plane is single-engine)\n");
 
-  stats::Table table(
-      {"writers", "transport", "wall s", "sim s", "Mevents/s", "rss delta", "B/writer"});
+  std::vector<std::string> headers{"writers", "transport", "wall s", "sim s",
+                                   "Mevents/s", "rss delta", "B/writer"};
+  if (!shard_sweep.empty()) headers.insert(headers.begin() + 2, "shards");
+  stats::Table table(std::move(headers));
+
+  // One finished (transport, scale[, shards]) sweep point -> one table row
+  // plus one JSON row.  `shards` == 0 means "classic engine" and keeps the
+  // row layout (and the whole stdout) identical to a sweep-less run.
+  const auto emit = [&](std::size_t procs, const char* transport, std::size_t shards,
+                        const stats::Summary& wall, const RunCost& last) {
+    const double bytes_per_writer =
+        static_cast<double>(last.rss_delta) / static_cast<double>(procs);
+    std::vector<std::string> cells{std::to_string(procs), transport,
+                                   stats::Table::num(wall.mean(), 3),
+                                   stats::Table::num(last.sim_s, 2),
+                                   stats::Table::num(last.events_per_s / 1e6, 2),
+                                   bench::mb(static_cast<double>(last.rss_delta)),
+                                   stats::Table::num(bytes_per_writer, 0)};
+    if (!shard_sweep.empty())
+      cells.insert(cells.begin() + 2, shards == 0 ? std::string("-") : std::to_string(shards));
+    table.add_row(std::move(cells));
+    auto& row = report.row();
+    row.tag("transport", transport)
+        .value("procs", static_cast<double>(procs))
+        .value("sim_s", last.sim_s)
+        .value("events_per_sec", last.events_per_s)
+        .value("rss_delta_bytes", static_cast<double>(last.rss_delta))
+        .value("bytes_per_writer", bytes_per_writer)
+        .value("peak_rss_bytes", static_cast<double>(bench::peak_rss_bytes()))
+        .stat("wall_s", wall);
+    if (shards != 0) row.value("shards", static_cast<double>(shards));
+  };
 
   // Ascending scales: the first (16,384-writer) rows run in a pristine
   // process, which is what the pre/post A-B comparison reads.
@@ -174,28 +260,26 @@ int main() {
     const bool mpiio_feasible = procs <= 16384;
     for (const bool adaptive : {true, false}) {
       if (!adaptive && !mpiio_feasible) continue;
+      if (adaptive && !shard_sweep.empty()) {
+        // Sharded sweep: each requested shard count is its own sweep point.
+        for (const std::size_t n_shards : shard_sweep) {
+          stats::Summary wall;
+          RunCost last;
+          for (std::size_t s = 0; s < samples; ++s) {
+            last = run_one_sharded(spec, model, procs, n_shards, journal.get());
+            wall.add(last.wall_s);
+          }
+          emit(procs, "adaptive", n_shards, wall, last);
+        }
+        continue;
+      }
       stats::Summary wall;
       RunCost last;
       for (std::size_t s = 0; s < samples; ++s) {
         last = run_one(spec, model, procs, adaptive, journal.get(), live.get());
         wall.add(last.wall_s);
       }
-      const double bytes_per_writer =
-          static_cast<double>(last.rss_delta) / static_cast<double>(procs);
-      table.add_row({std::to_string(procs), adaptive ? "adaptive" : "mpiio",
-                     stats::Table::num(wall.mean(), 3), stats::Table::num(last.sim_s, 2),
-                     stats::Table::num(last.events_per_s / 1e6, 2),
-                     bench::mb(static_cast<double>(last.rss_delta)),
-                     stats::Table::num(bytes_per_writer, 0)});
-      report.row()
-          .tag("transport", adaptive ? "adaptive" : "mpiio")
-          .value("procs", static_cast<double>(procs))
-          .value("sim_s", last.sim_s)
-          .value("events_per_sec", last.events_per_s)
-          .value("rss_delta_bytes", static_cast<double>(last.rss_delta))
-          .value("bytes_per_writer", bytes_per_writer)
-          .value("peak_rss_bytes", static_cast<double>(bench::peak_rss_bytes()))
-          .stat("wall_s", wall);
+      emit(procs, adaptive ? "adaptive" : "mpiio", 0, wall, last);
     }
   }
 

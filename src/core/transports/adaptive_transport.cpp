@@ -13,6 +13,7 @@
 #include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/shard.hpp"
 
 namespace aio::core {
 
@@ -58,18 +59,46 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
   obs::LivePlane* live = nullptr;
   std::uint32_t journal_run = 0;  ///< this run's id within the journal
 
+  /// Non-null for runs homed on a sharded file system: protocol events
+  /// execute on the shard owning the acting rank's domain, and every
+  /// cross-domain coupling (writes to remote OSTs, role completions to the
+  /// coordinator) travels through the shard group's channel plane.
+  sim::ShardGroup* shards = nullptr;
+
   AdaptiveRun(fs::FileSystem& f, net::Network& n, AdaptiveTransport::Config c, Topology t)
       : fs(f), net(n), cfg(std::move(c)), topo(t) {
+    shards = fs.shards();
     trace = fs.engine().trace();
     if (trace && !trace->wants(obs::kCatProtocol)) trace = nullptr;
     metrics = fs.engine().metrics();
     journal = fs.engine().journal();
     live = fs.engine().live();
+    if (shards) {
+      // The trace sink, metrics registry, and live plane are single-threaded
+      // consumers; sharded runs support the journal only (one per shard
+      // engine, merged canonically after the run).
+      trace = nullptr;
+      metrics = nullptr;
+      live = nullptr;
+    }
+    scratch_shards_.resize(shards ? shards->n_shards() : 1);
+  }
+
+  /// Engine of the shard executing the current event (the acting rank's
+  /// home); the run-wide engine on the classic path.
+  [[nodiscard]] sim::Engine& eng() const {
+    return shards ? *sim::current_engine() : fs.engine();
   }
 
   /// Journal and live plane consume the same records; one gate, one emit.
   [[nodiscard]] bool observing() const { return journal || live; }
   void obs_append(const obs::Record& r) {
+    if (shards) {
+      // Each shard appends to its own journal; the merge is canonical, so
+      // the gate below (shard-0 pointers) is all-or-none across shards.
+      if (obs::Journal* j = eng().journal()) j->append(r);
+      return;
+    }
     if (journal) journal->append(r);
     if (live) live->ingest(r);
   }
@@ -86,7 +115,7 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
   void journal_mark(obs::Mark mark, double v0 = 0.0, double v1 = 0.0) {
     obs::Record r;
     r.kind = obs::Rec::kRunMark;
-    r.t = fs.engine().now();
+    r.t = eng().now();
     r.id = journal_run;
     r.a = static_cast<std::uint8_t>(mark);
     r.v0 = v0;
@@ -94,20 +123,42 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
     obs_append(r);
   }
 
+  /// Data-path write completions, factored into methods so the sharded
+  /// hop-back closures capture only (run, rank, file, method) and stay
+  /// inside the OST's 64-byte callback SBO.
+  using WriteDone = void (AdaptiveRun::*)(Rank, std::uint32_t, sim::Time);
+  void writer_write_done(Rank from, std::uint32_t file, sim::Time now);
+  void sc_index_write_done(Rank from, std::uint32_t file, sim::Time now);
+  void coord_gidx_write_done(Rank from, std::uint32_t file, sim::Time now);
+  void role_done();
+
+  /// Issues a data write on `file`, completing through `done(from, file_id)`.
+  /// Classic runs call straight into the striped file.  Sharded runs hop to
+  /// the OST's home shard when the issuer's domain differs from the target's,
+  /// and hop the completion back; both hops land on window boundaries.
+  void issue_write(Rank from, fs::StripedFile& file, double offset, double bytes,
+                   fs::Ost::Mode mode, std::uint32_t file_id, WriteDone done);
+
   [[nodiscard]] SubCoordinatorFsm& sc_at(Rank rank) {
     return scs[static_cast<std::size_t>(topo.group_of(rank))];
   }
 
-  /// Scratch action list reused across deliveries.  Steady-state steps fit
-  /// the SmallVector's inline slots; the rare overflow (the coordinator's
-  /// final broadcast) leaves its heap block here for the rest of the run
-  /// instead of being reallocated per message.  Safe because nothing in
-  /// execute() delivers a message synchronously (every send/write completes
-  /// through a scheduled event), so deliver() never re-enters itself.
-  Actions scratch_;
+  /// Scratch action list reused across deliveries, one per shard (classic
+  /// runs use slot 0).  Steady-state steps fit the SmallVector's inline
+  /// slots; the rare overflow (the coordinator's final broadcast) leaves its
+  /// heap block here for the rest of the run instead of being reallocated
+  /// per message.  Safe because nothing in execute() delivers a message
+  /// synchronously (every send/write completes through a scheduled event),
+  /// so deliver() never re-enters itself on any one shard.
+  std::vector<Actions> scratch_shards_;
 };
 
 void AdaptiveRun::begin(const IoJob& job) {
+  if (shards && cfg.open_mode != AdaptiveTransport::Config::OpenMode::Skip) {
+    // MDS-timed open storms serialize on shard 0 and their stagger daemons
+    // are not window-aware; the sharded timing model starts at open-done.
+    throw std::invalid_argument("AdaptiveRun: sharded runs require OpenMode::Skip");
+  }
   const std::size_t n = topo.n_writers();
   const std::size_t g = topo.n_groups();
   result.transport = "Adaptive";
@@ -174,6 +225,12 @@ void AdaptiveRun::begin(const IoJob& job) {
   };
   if (observing()) {
     journal_run = journal ? journal->begin_run() : 0;
+    if (shards && journal) {
+      // Every shard's journal counts the same runs, so run-scoped record ids
+      // agree across shards (and therefore across shard counts post-merge).
+      for (std::size_t s = 1; s < shards->n_shards(); ++s)
+        if (obs::Journal* js = shards->engine(s).journal()) js->begin_run();
+    }
     obs::Record r;
     r.kind = obs::Rec::kRunBegin;
     r.t = result.t_begin;
@@ -244,7 +301,7 @@ void AdaptiveRun::trace_steal_grant(const SendAction& send) {
     const GroupId src = topo.group_of(send.to);
     obs::Record r;
     r.kind = obs::Rec::kStealGrant;
-    r.t = fs.engine().now();
+    r.t = eng().now();
     r.id = static_cast<std::uint32_t>(grant->grant_seq);
     r.u0 = static_cast<std::uint32_t>(src);
     r.u1 = static_cast<std::uint32_t>(grant->target_file);
@@ -256,7 +313,7 @@ void AdaptiveRun::trace_steal_grant(const SendAction& send) {
   const GroupId source = topo.group_of(send.to);
   trace->instant(
       obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(send.to),
-      fs.engine().now(), "steal.grant",
+      eng().now(), "steal.grant",
       {{"source_sc", obs::Json(static_cast<double>(source))},
        {"target_file", obs::Json(static_cast<double>(grant->target_file))},
        {"offset", obs::Json(grant->offset)},
@@ -271,7 +328,7 @@ void AdaptiveRun::trace_steal_complete(const WriteComplete& msg) {
   if (observing()) {
     obs::Record r;
     r.kind = obs::Rec::kStealComplete;
-    r.t = fs.engine().now();
+    r.t = eng().now();
     r.id = static_cast<std::uint32_t>(msg.grant_seq);
     r.u0 = static_cast<std::uint32_t>(msg.origin_group);
     r.u1 = static_cast<std::uint32_t>(msg.file);
@@ -282,7 +339,7 @@ void AdaptiveRun::trace_steal_complete(const WriteComplete& msg) {
   if (!trace) return;
   trace->instant(
       obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(msg.writer),
-      fs.engine().now(), "steal.complete",
+      eng().now(), "steal.complete",
       {{"writer", obs::Json(static_cast<double>(msg.writer))},
        {"source_sc", obs::Json(static_cast<double>(msg.origin_group))},
        {"target_file", obs::Json(static_cast<double>(msg.file))},
@@ -296,7 +353,7 @@ void AdaptiveRun::trace_steal_complete(const WriteComplete& msg) {
 void AdaptiveRun::deliver(Rank to, const Message& msg) {
   if (trace) {
     trace->instant(obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(to),
-                   fs.engine().now(), msg.name(),
+                   eng().now(), msg.name(),
                    {{"from", obs::Json(static_cast<double>(msg.from))}});
   }
   if (metrics) {
@@ -330,9 +387,70 @@ void AdaptiveRun::deliver(Rank to, const Message& msg) {
     Actions operator()(const SubIndex& m) { return run.coord->on_sub_index(m); }
   };
   Actions produced = std::visit(Visitor{*this, to}, msg.body);
-  scratch_.clear();
-  scratch_.append(std::move(produced));
-  execute(to, scratch_);
+  Actions& scratch = scratch_shards_[shards ? sim::current_shard_index() : 0];
+  scratch.clear();
+  scratch.append(std::move(produced));
+  execute(to, scratch);
+}
+
+void AdaptiveRun::writer_write_done(Rank from, std::uint32_t file, sim::Time now) {
+  result.writer_times[static_cast<std::size_t>(from)].end = now;
+  if (trace) trace->end(obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(from), now);
+  if (observing()) {
+    obs::Record r;
+    r.kind = obs::Rec::kWriterEnd;
+    r.t = now;
+    r.id = static_cast<std::uint32_t>(from);
+    r.u0 = file;
+    obs_append(r);
+  }
+  execute(from, writers->on_write_done(from));
+}
+
+void AdaptiveRun::sc_index_write_done(Rank from, std::uint32_t, sim::Time now) {
+  if (trace) trace->end(obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(from), now);
+  execute(from, sc_at(from).on_index_write_done());
+}
+
+void AdaptiveRun::coord_gidx_write_done(Rank from, std::uint32_t, sim::Time now) {
+  if (trace) trace->end(obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(from), now);
+  execute(from, coord->on_global_index_write_done());
+}
+
+void AdaptiveRun::role_done() {
+  if (roles_remaining == 0) throw std::logic_error("AdaptiveRun: role overcompletion");
+  if (--roles_remaining == 0) all_roles_done();
+}
+
+void AdaptiveRun::issue_write(Rank from, fs::StripedFile& file, double offset, double bytes,
+                              fs::Ost::Mode mode, std::uint32_t file_id, WriteDone done) {
+  auto self = shared_from_this();
+  if (shards) {
+    const std::uint32_t src_dom = shards->domain_of_rank(static_cast<std::size_t>(from));
+    const std::uint32_t dst_dom = shards->domain_of_ost(file.target_of(offset));
+    if (src_dom != dst_dom) {
+      // Hop to the OST's home shard to issue; the completion hops back to
+      // the issuer's shard.  Both hops land on window boundaries.
+      shards->post_at_boundary(
+          src_dom, shards->shard_of_domain(dst_dom),
+          [self, f = &file, offset, bytes, mode, from, file_id, done] {
+            const std::uint32_t ost_dom = self->shards->domain_of_ost(f->target_of(offset));
+            f->write(offset, bytes, mode,
+                     [self, from, file_id, done, ost_dom](sim::Time) {
+                       sim::ShardGroup& sg = *self->shards;
+                       const std::size_t home = sg.shard_of_domain(
+                           sg.domain_of_rank(static_cast<std::size_t>(from)));
+                       sg.post_at_boundary(ost_dom, home, [self, from, file_id, done] {
+                         ((*self).*done)(from, file_id, self->eng().now());
+                       });
+                     });
+          });
+      return;
+    }
+  }
+  file.write(offset, bytes, mode, [self, from, file_id, done](sim::Time now) {
+    ((*self).*done)(from, file_id, now);
+  });
 }
 
 void AdaptiveRun::execute(Rank from, Actions& actions) {
@@ -348,7 +466,7 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
           const GroupId home = topo.group_of(send->to);
           obs::Record r;
           r.kind = obs::Rec::kWriterSignal;
-          r.t = fs.engine().now();
+          r.t = eng().now();
           r.id = static_cast<std::uint32_t>(send->to);
           r.u0 = static_cast<std::uint32_t>(dw->target_file);
           r.u1 = static_cast<std::uint32_t>(home);
@@ -364,10 +482,10 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
                     "protocol deliver closure outgrew the engine callback SBO");
       net.send(from, to, bytes, std::move(deliver_cb));
     } else if (const auto* write = std::get_if<StartWriteAction>(&action)) {
-      result.writer_times[static_cast<std::size_t>(from)].start = fs.engine().now();
+      result.writer_times[static_cast<std::size_t>(from)].start = eng().now();
       if (trace) {
         trace->begin(obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(from),
-                     fs.engine().now(), "write",
+                     eng().now(), "write",
                      {{"file", obs::Json(static_cast<double>(write->file))},
                       {"offset", obs::Json(write->offset)},
                       {"bytes", obs::Json(write->bytes)}});
@@ -376,66 +494,55 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
       if (observing()) {
         obs::Record r;
         r.kind = obs::Rec::kWriterStart;
-        r.t = fs.engine().now();
+        r.t = eng().now();
         r.id = static_cast<std::uint32_t>(from);
         r.u0 = file;
         r.v0 = write->bytes;
         obs_append(r);
       }
-      files.at(static_cast<std::size_t>(write->file))
-          ->write(write->offset, write->bytes, data_mode, [self, from, file](sim::Time now) {
-            self->result.writer_times[static_cast<std::size_t>(from)].end = now;
-            if (self->trace) {
-              self->trace->end(obs::kCatProtocol, obs::kPidProtocol,
-                               static_cast<std::uint32_t>(from), now);
-            }
-            if (self->observing()) {
-              obs::Record r;
-              r.kind = obs::Rec::kWriterEnd;
-              r.t = now;
-              r.id = static_cast<std::uint32_t>(from);
-              r.u0 = file;
-              self->obs_append(r);
-            }
-            self->execute(from, self->writers->on_write_done(from));
-          });
+      issue_write(from, *files.at(static_cast<std::size_t>(write->file)), write->offset,
+                  write->bytes, data_mode, file, &AdaptiveRun::writer_write_done);
     } else if (const auto* widx = std::get_if<WriteIndexAction>(&action)) {
       if (trace) {
         trace->begin(obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(from),
-                     fs.engine().now(), "index_write",
+                     eng().now(), "index_write",
                      {{"file", obs::Json(static_cast<double>(widx->file))},
                       {"bytes", obs::Json(widx->bytes)}});
       }
-      files.at(static_cast<std::size_t>(widx->file))
-          ->write(widx->offset, widx->bytes, fs::Ost::Mode::Durable, [self, from](sim::Time now) {
-            if (self->trace) {
-              self->trace->end(obs::kCatProtocol, obs::kPidProtocol,
-                               static_cast<std::uint32_t>(from), now);
-            }
-            self->execute(from, self->sc_at(from).on_index_write_done());
-          });
+      issue_write(from, *files.at(static_cast<std::size_t>(widx->file)), widx->offset,
+                  widx->bytes, fs::Ost::Mode::Durable, static_cast<std::uint32_t>(widx->file),
+                  &AdaptiveRun::sc_index_write_done);
     } else if (const auto* gidx = std::get_if<WriteGlobalIndexAction>(&action)) {
       if (trace) {
         trace->begin(obs::kCatProtocol, obs::kPidProtocol, static_cast<std::uint32_t>(from),
-                     fs.engine().now(), "global_index_write",
+                     eng().now(), "global_index_write",
                      {{"bytes", obs::Json(gidx->bytes)}});
       }
-      master->write(0.0, gidx->bytes, fs::Ost::Mode::Durable, [self, from](sim::Time now) {
-        if (self->trace) {
-          self->trace->end(obs::kCatProtocol, obs::kPidProtocol,
-                           static_cast<std::uint32_t>(from), now);
-        }
-        self->execute(from, self->coord->on_global_index_write_done());
-      });
+      issue_write(from, *master, 0.0, gidx->bytes, fs::Ost::Mode::Durable, 0,
+                  &AdaptiveRun::coord_gidx_write_done);
     } else if (std::get_if<RoleDoneAction>(&action)) {
-      if (roles_remaining == 0) throw std::logic_error("AdaptiveRun: role overcompletion");
-      if (--roles_remaining == 0) all_roles_done();
+      if (!shards) {
+        role_done();
+        continue;
+      }
+      // The role tally lives with the coordinator; remote domains hand their
+      // completion over the channel plane so it is counted on its home shard
+      // in canonical order.
+      const std::uint32_t src_dom = shards->domain_of_rank(static_cast<std::size_t>(from));
+      const std::uint32_t coord_dom = shards->domain_of_rank(
+          static_cast<std::size_t>(Topology::coordinator_rank()));
+      if (src_dom == coord_dom) {
+        role_done();
+      } else {
+        shards->post_at_boundary(src_dom, shards->shard_of_domain(coord_dom),
+                                 [self] { self->role_done(); });
+      }
     }
   }
 }
 
 void AdaptiveRun::all_roles_done() {
-  result.t_data_done = fs.engine().now();
+  result.t_data_done = eng().now();
   result.steals = coord->total_steals();
   result.grants_issued = coord->grants_issued();
   if (observing()) journal_mark(obs::Mark::kDataDone);
@@ -454,7 +561,7 @@ void AdaptiveRun::all_roles_done() {
   result.master_file = master;
 
   if (!cfg.close_via_mds) {
-    finish(fs.engine().now());
+    finish(eng().now());
     return;
   }
   auto self = shared_from_this();

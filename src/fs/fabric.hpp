@@ -29,6 +29,17 @@ class FabricGovernor {
   /// outlive the OSTs it manages.
   void attach(Ost& ost);
 
+  /// Registers an OST without installing a hook.  Sharded runs keep one
+  /// governor replica per shard: every replica is fed the globally merged
+  /// activity stream through `notify_activity`, so all replicas run the same
+  /// hysteresis state machine and each applies factors only to its own
+  /// shard's OSTs.
+  void adopt(Ost& ost) { osts_.push_back(&ost); }
+
+  /// Feeds one activity transition (from any OST, any shard) into this
+  /// governor's state machine.
+  void notify_activity(bool became_active) { on_activity(became_active); }
+
   [[nodiscard]] std::size_t active_count() const { return active_; }
   [[nodiscard]] double current_factor() const { return applied_factor_; }
   [[nodiscard]] double fabric_bw() const { return fabric_bw_; }

@@ -139,6 +139,39 @@ FileSystem::FileSystem(sim::Engine& engine, FsConfig config)
   }
 }
 
+FileSystem::FileSystem(sim::ShardGroup& shards, FsConfig config)
+    : engine_(shards.engine(0)),
+      config_(config),
+      shards_(&shards),
+      mds_(shards.engine(0), config.mds),
+      fabric_(config.fabric_bw) {
+  if (config_.n_osts == 0) throw std::invalid_argument("FileSystem: need at least one OST");
+  if (config_.n_osts != shards.n_osts())
+    throw std::invalid_argument("FileSystem: OST count does not match the shard group");
+  const std::size_t n_shards = shards.n_shards();
+  fabric_replicas_.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) fabric_replicas_.emplace_back(config_.fabric_bw);
+  osts_.reserve(config_.n_osts);
+  for (std::size_t i = 0; i < config_.n_osts; ++i) {
+    const std::uint32_t dom = shards.domain_of_ost(i);
+    const std::size_t home = shards.shard_of_domain(dom);
+    osts_.push_back(std::make_unique<Ost>(shards.engine(home), config_.ost, static_cast<int>(i)));
+    fabric_replicas_[home].adopt(*osts_.back());
+    if (config_.fabric_bw > 0.0) {
+      // Broadcast every activity transition to all replicas; each applies it
+      // at the next window boundary, so the replicas' hysteresis state
+      // machines see one identical global stream at any shard count.
+      Ost* ost = osts_.back().get();
+      ost->set_activity_hook([sg = &shards, reps = &fabric_replicas_, dom, n_shards](bool active) {
+        for (std::size_t d = 0; d < n_shards; ++d) {
+          sg->post_at_boundary(dom, d,
+                               [reps, d, active] { (*reps)[d].notify_activity(active); });
+        }
+      });
+    }
+  }
+}
+
 std::vector<Ost*> FileSystem::ost_pointers() {
   std::vector<Ost*> out;
   out.reserve(osts_.size());

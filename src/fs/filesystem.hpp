@@ -19,6 +19,7 @@
 #include "fs/mds.hpp"
 #include "fs/ost.hpp"
 #include "sim/engine.hpp"
+#include "sim/shard.hpp"
 
 namespace aio::obs {
 class Sampler;
@@ -100,6 +101,17 @@ class FileSystem {
 
   FileSystem(sim::Engine& engine, FsConfig config);
 
+  /// Sharded construction: OST `i` is homed on the engine of the shard that
+  /// owns its domain, the metadata server stays on shard 0 (callers on other
+  /// shards reach it through the channel plane), and the fabric governor is
+  /// replicated per shard — every replica consumes the same globally merged
+  /// activity stream at window boundaries, so all replicas agree bit-exactly
+  /// and each touches only shard-local OSTs.
+  FileSystem(sim::ShardGroup& shards, FsConfig config);
+
+  /// Shard group this file system is homed on; null for classic runs.
+  [[nodiscard]] sim::ShardGroup* shards() { return shards_; }
+
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] const FsConfig& config() const { return config_; }
   [[nodiscard]] std::size_t n_osts() const { return osts_.size(); }
@@ -139,9 +151,11 @@ class FileSystem {
 
   sim::Engine& engine_;
   FsConfig config_;
+  sim::ShardGroup* shards_ = nullptr;
   std::vector<std::unique_ptr<Ost>> osts_;
   MetadataServer mds_;
   FabricGovernor fabric_;
+  std::vector<FabricGovernor> fabric_replicas_;  // one per shard (sharded runs)
   std::vector<std::unique_ptr<StripedFile>> files_;
 };
 

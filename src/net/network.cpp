@@ -6,7 +6,7 @@
 namespace aio::net {
 
 Network::Network(sim::Engine& engine, NetConfig config, std::size_t n_ranks)
-    : engine_(engine), config_(config), n_ranks_(n_ranks) {
+    : engine_(engine), config_(config), n_ranks_(n_ranks), counters_(1) {
   if (n_ranks == 0) throw std::invalid_argument("Network: need at least one rank");
   if (config_.cores_per_node == 0) throw std::invalid_argument("Network: cores_per_node == 0");
   const std::size_t nodes = (n_ranks + config_.cores_per_node - 1) / config_.cores_per_node;
@@ -17,24 +17,89 @@ Network::Network(sim::Engine& engine, NetConfig config, std::size_t n_ranks)
   }
 }
 
+Network::Network(sim::ShardGroup& shards, NetConfig config, std::size_t n_ranks)
+    : engine_(shards.engine(0)),
+      config_(config),
+      n_ranks_(n_ranks),
+      shards_(&shards),
+      counters_(shards.n_shards()) {
+  if (n_ranks == 0) throw std::invalid_argument("Network: need at least one rank");
+  if (config_.cores_per_node == 0) throw std::invalid_argument("Network: cores_per_node == 0");
+  if (n_ranks != shards.n_ranks())
+    throw std::invalid_argument("Network: rank count does not match the shard group");
+  const std::size_t nodes = (n_ranks + config_.cores_per_node - 1) / config_.cores_per_node;
+  nics_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    nics_.push_back(std::make_unique<sim::FluidResource>(
+        shards.engine_of_rank(i * config_.cores_per_node),
+        sim::FluidResource::Config{config_.nic_bw, 0.0, 0.0}));
+  }
+}
+
+std::uint64_t Network::messages_sent() const {
+  std::uint64_t n = 0;
+  for (const Counters& c : counters_) n += c.messages;
+  return n;
+}
+
+double Network::bytes_sent() const {
+  double n = 0.0;
+  for (const Counters& c : counters_) n += c.bytes;
+  return n;
+}
+
 void Network::send(Rank from, Rank to, double bytes, Deliver deliver) {
   if (from < 0 || static_cast<std::size_t>(from) >= n_ranks_ || to < 0 ||
       static_cast<std::size_t>(to) >= n_ranks_) {
     throw std::invalid_argument("Network::send: rank out of range");
   }
-  ++messages_sent_;
-  bytes_sent_ += bytes;
+  Counters& ctr = counters_[shards_ ? sim::current_shard_index() : 0];
+  ++ctr.messages;
+  ctr.bytes += bytes;
   const double latency = config_.latency_s;
-  if (from == to || bytes <= 0.0) {
-    engine_.schedule_after(latency, std::move(deliver));
+  if (!shards_) {
+    if (from == to || bytes <= 0.0) {
+      engine_.schedule_after(latency, std::move(deliver));
+      return;
+    }
+    auto relay = [this, latency, deliver = std::move(deliver)](sim::Time) mutable {
+      engine_.schedule_after(latency, std::move(deliver));
+    };
+    // The relay (this + latency + a 96-byte-SBO Deliver) must fit the fluid
+    // callback's SBO, or every cross-node message would heap-allocate.
+    static_assert(sizeof(relay) <= 128, "NIC relay closure outgrew FluidResource::OnComplete SBO");
+    nics_[node_of(from)]->start(bytes, std::move(relay));
     return;
   }
-  auto relay = [this, latency, deliver = std::move(deliver)](sim::Time) mutable {
-    engine_.schedule_after(latency, std::move(deliver));
+
+  // Sharded routing.  The sender's NIC and the send event both live on the
+  // sender's shard; only the final delivery may cross domains, in which case
+  // it goes through the channel plane and lands on a window boundary.
+  sim::ShardGroup& sg = *shards_;
+  const std::uint32_t src_dom = sg.domain_of_rank(static_cast<std::size_t>(from));
+  const std::uint32_t dst_dom = sg.domain_of_rank(static_cast<std::size_t>(to));
+  sim::Engine& src_eng = sg.engine_of_rank(static_cast<std::size_t>(from));
+  if (from == to || bytes <= 0.0) {
+    if (src_dom == dst_dom) {
+      src_eng.schedule_after(latency, std::move(deliver));
+    } else {
+      sg.post(src_dom, sg.shard_of_domain(dst_dom), src_eng.now() + latency,
+              std::move(deliver));
+    }
+    return;
+  }
+  // The relay always fires on the sender's shard (the NIC lives there), so
+  // the engine and latency can be re-derived at fire time; that keeps the
+  // closure at exactly the classic relay's footprint.
+  auto relay = [this, src_dom, dst_dom, deliver = std::move(deliver)](sim::Time now) mutable {
+    if (src_dom == dst_dom) {
+      sim::current_engine()->schedule_after(config_.latency_s, std::move(deliver));
+    } else {
+      shards_->post(src_dom, shards_->shard_of_domain(dst_dom), now + config_.latency_s,
+                    std::move(deliver));
+    }
   };
-  // The relay (this + latency + a 96-byte-SBO Deliver) must fit the fluid
-  // callback's SBO, or every cross-node message would heap-allocate.
-  static_assert(sizeof(relay) <= 128, "NIC relay closure outgrew FluidResource::OnComplete SBO");
+  static_assert(sizeof(relay) <= 128, "sharded NIC relay outgrew FluidResource::OnComplete SBO");
   nics_[node_of(from)]->start(bytes, std::move(relay));
 }
 

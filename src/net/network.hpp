@@ -19,6 +19,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/fluid.hpp"
+#include "sim/shard.hpp"
 
 namespace aio::net {
 
@@ -41,6 +42,13 @@ class Network {
 
   Network(sim::Engine& engine, NetConfig config, std::size_t n_ranks);
 
+  /// Sharded construction: each node's NIC is homed on the engine of the
+  /// shard owning its ranks (rank cuts are node-aligned, so a NIC never
+  /// straddles shards).  Cross-domain deliveries travel through the shard
+  /// group's channels and land on a window boundary; same-domain deliveries
+  /// are scheduled directly, exactly like the classic path.
+  Network(sim::ShardGroup& shards, NetConfig config, std::size_t n_ranks);
+
   /// Sends `bytes` from `from` to `to`; `deliver` runs at arrival time.
   /// Self-sends skip the NIC but still pay one latency (they cross the
   /// memory hierarchy, and keeping them asynchronous avoids reentrancy).
@@ -51,17 +59,24 @@ class Network {
   [[nodiscard]] std::size_t node_of(Rank r) const {
     return static_cast<std::size_t>(r) / config_.cores_per_node;
   }
-  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
-  [[nodiscard]] double bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t messages_sent() const;
+  [[nodiscard]] double bytes_sent() const;
   [[nodiscard]] const NetConfig& config() const { return config_; }
 
  private:
+  // Send accounting is kept per shard (padded to a cache line) so parallel
+  // window execution never contends; the classic path only touches slot 0.
+  struct alignas(64) Counters {
+    std::uint64_t messages = 0;
+    double bytes = 0.0;
+  };
+
   sim::Engine& engine_;
   NetConfig config_;
   std::size_t n_ranks_;
+  sim::ShardGroup* shards_ = nullptr;
   std::vector<std::unique_ptr<sim::FluidResource>> nics_;
-  std::uint64_t messages_sent_ = 0;
-  double bytes_sent_ = 0.0;
+  std::vector<Counters> counters_;
 };
 
 }  // namespace aio::net

@@ -1,5 +1,6 @@
 #include "obs/journal.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -86,6 +87,30 @@ std::optional<Journal> Journal::load(const std::string& path) {
   std::fclose(f);
   if (!ok) return std::nullopt;
   return j;
+}
+
+std::vector<Record> merge_records(const std::vector<const Journal*>& parts) {
+  std::vector<Record> out;
+  std::size_t total = 0;
+  for (const Journal* p : parts)
+    if (p) total += p->records().size();
+  out.reserve(total);
+  for (const Journal* p : parts) {
+    if (!p) continue;
+    const auto& r = p->records();
+    out.insert(out.end(), r.begin(), r.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Record& a, const Record& b) {
+    if (a.t != b.t) return a.t < b.t;
+    // Kind before content at equal time: the analyzer attaches run-scoped
+    // records to the preceding kRunBegin, so prologue marks emitted at the
+    // same timestamp must not sort ahead of it.
+    if (a.kind != b.kind) return a.kind < b.kind;
+    // Bytewise tie-break: Record is a fully-initialized POD (explicit
+    // padding field), so memcmp is a total order on content.
+    return std::memcmp(&a, &b, sizeof(Record)) < 0;
+  });
+  return out;
 }
 
 }  // namespace aio::obs

@@ -132,4 +132,12 @@ class Journal {
   std::uint32_t runs_ = 0;
 };
 
+/// Canonical merge of per-shard journals (sharded runs keep one journal per
+/// shard engine): every part's records, ordered by timestamp, then record
+/// kind (so a run's kRunBegin precedes same-time prologue marks), then
+/// bytewise content.  The result depends only on the multiset
+/// of records, never on how they were distributed over shards — which is
+/// what makes merged digests comparable across shard counts.
+[[nodiscard]] std::vector<Record> merge_records(const std::vector<const Journal*>& parts);
+
 }  // namespace aio::obs

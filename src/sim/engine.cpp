@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -139,6 +140,29 @@ std::size_t Engine::run(std::size_t max_steps) {
   std::size_t n = 0;
   while (n < max_steps && normal_pending_ > 0 && pop_one()) ++n;
   return n;
+}
+
+std::size_t Engine::run_before(Time t) {
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    if (!node_live(heap_.front())) {
+      reclaim(dheap_pop(heap_, before).slot);
+      --dead_in_heap_;
+      continue;
+    }
+    if (heap_.front().time >= t) break;
+    if (pop_one()) ++n;
+  }
+  return n;
+}
+
+Time Engine::next_event_time() {
+  while (!heap_.empty() && !node_live(heap_.front())) {
+    reclaim(dheap_pop(heap_, before).slot);
+    --dead_in_heap_;
+  }
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.front().time;
 }
 
 std::size_t Engine::run_until(Time t) {

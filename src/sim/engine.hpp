@@ -130,6 +130,17 @@ class Engine {
   /// clock to exactly `t`.  Returns the number of events executed.
   std::size_t run_until(Time t);
 
+  /// Runs events with time strictly < `t` and leaves the clock at the last
+  /// event fired (never advanced to `t`).  This is the sharded window step:
+  /// a shard executes everything inside [W, W + lookahead) and must still be
+  /// able to accept boundary messages scheduled at exactly `t`.
+  std::size_t run_before(Time t);
+
+  /// Timestamp of the earliest pending event (normal or daemon), or +inf
+  /// when the queue is empty.  Cleans cancelled heads as a side effect, so
+  /// the answer is exact, not an upper bound.
+  [[nodiscard]] Time next_event_time();
+
  private:
   // A heap node carries everything the ordering needs; the callback stays in
   // the slot table so heap moves shuffle 16 POD bytes, not a closure.  The

@@ -36,7 +36,7 @@ FluidResource::~FluidResource() {
 }
 
 double FluidResource::stream_rate() const {
-  const std::size_t n = streams_.size();
+  const std::size_t n = active_streams();
   if (n == 0) return 0.0;
   const double usable = config_.capacity * factor_ * efficiency(config_.alpha, n);
   double rate = usable / static_cast<double>(n);
@@ -45,7 +45,7 @@ double FluidResource::stream_rate() const {
 }
 
 double FluidResource::total_rate() const {
-  return stream_rate() * static_cast<double>(streams_.size());
+  return stream_rate() * static_cast<double>(active_streams());
 }
 
 double FluidResource::done_threshold() const {
@@ -57,6 +57,16 @@ FluidResource::StreamId FluidResource::start(double bytes, OnComplete on_complet
   advance();
   const StreamId id = next_id_++;
   const double v_finish = vwork_ + bytes;
+  if (!solo_ && streams_.empty() && heap_.empty()) {
+    // First stream on an idle resource: keep it in the inline slot.
+    solo_ = true;
+    solo_id_ = id;
+    solo_v_finish_ = v_finish;
+    solo_cb_ = std::move(on_complete);
+    reschedule();
+    return id;
+  }
+  if (solo_) demote_solo();
   if (spare_nodes_.empty()) {
     streams_.emplace(id, Stream{v_finish, std::move(on_complete)});
   } else {
@@ -71,8 +81,33 @@ FluidResource::StreamId FluidResource::start(double bytes, OnComplete on_complet
   return id;
 }
 
+void FluidResource::demote_solo() {
+  // The solo stream takes the map/heap slots it would have taken had it been
+  // started through the general path — same insertion order, same heap
+  // layout, same tie-breaking as a build without the fast path.
+  solo_ = false;
+  if (spare_nodes_.empty()) {
+    streams_.emplace(solo_id_, Stream{solo_v_finish_, std::move(solo_cb_)});
+  } else {
+    auto node = std::move(spare_nodes_.back());
+    spare_nodes_.pop_back();
+    node.key() = solo_id_;
+    node.mapped() = Stream{solo_v_finish_, std::move(solo_cb_)};
+    streams_.insert(std::move(node));
+  }
+  solo_cb_ = OnComplete{};
+  dheap_push(heap_, HeapEntry{solo_v_finish_, solo_id_}, heap_before);
+}
+
 bool FluidResource::abort(StreamId id) {
   advance();
+  if (solo_) {
+    if (id != solo_id_) return false;
+    solo_ = false;
+    solo_cb_ = OnComplete{};
+    reschedule();
+    return true;
+  }
   auto node = streams_.extract(id);
   const bool erased = !node.empty();
   if (erased) {
@@ -96,13 +131,20 @@ void FluidResource::set_capacity_factor(double factor) {
 }
 
 double FluidResource::remaining(StreamId id) const {
-  const auto it = streams_.find(id);
-  if (it == streams_.end()) return 0.0;
+  double v_finish = 0.0;
+  if (solo_) {
+    if (id != solo_id_) return 0.0;
+    v_finish = solo_v_finish_;
+  } else {
+    const auto it = streams_.find(id);
+    if (it == streams_.end()) return 0.0;
+    v_finish = it->second.v_finish;
+  }
   // Account for virtual work accrued since the last state change without
   // mutating, then apply the same completion tolerance fire() uses: a stream
   // the scheduler would complete "now" reports zero, not a sub-epsilon crumb.
   const double v_now = vwork_ + stream_rate() * (engine_.now() - last_update_);
-  const double rem = it->second.v_finish - v_now;
+  const double rem = v_finish - v_now;
   if (rem <= done_threshold()) return 0.0;
   return rem;
 }
@@ -111,13 +153,14 @@ void FluidResource::advance() {
   const Time now = engine_.now();
   const double dt = now - last_update_;
   last_update_ = now;
-  if (dt <= 0.0 || streams_.empty()) return;
+  if (dt <= 0.0 || active_streams() == 0) return;
   // The whole point of the virtual clock: every active stream shares one
   // instantaneous rate, so one multiply-add moves all of them at once.
   vwork_ += stream_rate() * dt;
 }
 
 double FluidResource::min_v_finish() {
+  if (solo_) return solo_v_finish_;
   while (!heap_.empty()) {
     const HeapEntry& top = heap_.front();
     if (streams_.count(top.id) != 0) return top.v_finish;
@@ -131,7 +174,7 @@ void FluidResource::reschedule() {
     engine_.cancel(pending_);
     pending_ = EventHandle{};
   }
-  if (streams_.empty()) {
+  if (!solo_ && streams_.empty()) {
     // Idle rebase: with no streams the virtual clock is unobservable, so
     // reset it to zero and drop any aborted debris still in the heap.  This
     // bounds the clock's magnitude — and hence its floating-point error —
@@ -154,6 +197,17 @@ void FluidResource::reschedule() {
 void FluidResource::fire() {
   pending_ = EventHandle{};
   advance();
+  if (solo_) {
+    // Solo completion: no heap to pop, no map node to extract.  The epsilon
+    // design guarantees the scheduled completion lands within tolerance.
+    assert(solo_v_finish_ - vwork_ <= done_threshold());
+    OnComplete cb = std::move(solo_cb_);
+    solo_ = false;
+    solo_cb_ = OnComplete{};
+    reschedule();  // idle rebase, same ordering as the batch path below
+    if (cb) cb(engine_.now());
+    return;
+  }
   // Collect completions first: callbacks may start new streams on this
   // resource, and must observe a consistent stream set.  Completions pop
   // off the heap in (finish work, start order) — exact ties complete FIFO.

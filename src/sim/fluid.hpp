@@ -68,7 +68,9 @@ class FluidResource {
   void set_capacity_factor(double factor);
   [[nodiscard]] double capacity_factor() const { return factor_; }
 
-  [[nodiscard]] std::size_t active_streams() const { return streams_.size(); }
+  [[nodiscard]] std::size_t active_streams() const {
+    return streams_.size() + (solo_ ? 1 : 0);
+  }
   /// Remaining work; 0 for unknown streams and for streams already within
   /// the completion tolerance (the same epsilon the scheduler uses).
   [[nodiscard]] double remaining(StreamId id) const;
@@ -102,6 +104,7 @@ class FluidResource {
   void reschedule();   ///< re-arms the next-completion event
   void fire();         ///< completes every stream whose finish work is reached
   double min_v_finish();  ///< earliest live finish; +inf if none (pops stale)
+  void demote_solo();  ///< moves the solo stream into the map/heap machinery
 
   using StreamMap = std::unordered_map<StreamId, Stream>;
 
@@ -119,6 +122,16 @@ class FluidResource {
   Time last_update_ = 0.0;
   double vwork_ = 0.0;  ///< cumulative per-stream work; rebased to 0 at idle
   EventHandle pending_;
+  // Solo fast path: a resource serving exactly one stream (the overwhelmingly
+  // common OST state between bursts, and the whole of churn/1) keeps it in
+  // this inline slot and never touches the map or the heap.  The slot demotes
+  // into the general machinery the moment a second stream starts; the
+  // arithmetic is the shared-clock formulas with n = 1, so results are
+  // bitwise identical either way.  Invariant: solo_ implies streams_ empty.
+  bool solo_ = false;
+  StreamId solo_id_ = 0;
+  double solo_v_finish_ = 0.0;
+  OnComplete solo_cb_;
 };
 
 }  // namespace aio::sim

@@ -1,0 +1,205 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace aio::sim {
+
+namespace {
+
+// Per-thread shard context.  The main thread seeds through shard 0; worker
+// threads bind themselves on entry.  `tls_window_end` is the boundary every
+// in-flight post clamps to — 0 while seeding, so seed-time posts land at the
+// very first boundary.
+thread_local Engine* tls_engine = nullptr;
+thread_local std::size_t tls_shard = 0;
+thread_local double tls_window_end = 0.0;
+
+}  // namespace
+
+Engine* current_engine() { return tls_engine; }
+std::size_t current_shard_index() { return tls_shard; }
+
+ShardGroup::ShardGroup(Config config) : cfg_(config) {
+  if (cfg_.n_ranks == 0) throw std::invalid_argument("ShardGroup: n_ranks must be > 0");
+  if (cfg_.n_osts == 0) throw std::invalid_argument("ShardGroup: n_osts must be > 0");
+  if (cfg_.ranks_per_node == 0) throw std::invalid_argument("ShardGroup: ranks_per_node must be > 0");
+  if (!(cfg_.lookahead_s > 0.0)) throw std::invalid_argument("ShardGroup: lookahead must be > 0");
+  if (!(cfg_.window_batch >= 1.0))
+    throw std::invalid_argument("ShardGroup: window_batch must be >= 1");
+
+  n_domains_ = cfg_.n_domains != 0 ? cfg_.n_domains : std::min(kDefaultDomains, cfg_.n_osts);
+  n_domains_ = std::min(n_domains_, cfg_.n_osts);  // an OST span must not be empty
+  if (n_domains_ == 0) n_domains_ = 1;
+  n_shards_ = std::clamp<std::size_t>(cfg_.n_shards, 1, n_domains_);
+  window_s_ = cfg_.lookahead_s * cfg_.window_batch;
+
+  // Node-aligned rank cuts: round each balanced cut down to a node boundary
+  // so every node (and its NIC) lives inside exactly one domain.
+  rank_lo_.resize(n_domains_ + 1);
+  rank_lo_[0] = 0;
+  rank_lo_[n_domains_] = cfg_.n_ranks;
+  for (std::size_t d = 1; d < n_domains_; ++d) {
+    const std::size_t raw = d * cfg_.n_ranks / n_domains_;
+    rank_lo_[d] = std::max(rank_lo_[d - 1], raw / cfg_.ranks_per_node * cfg_.ranks_per_node);
+  }
+
+  engines_.reserve(n_shards_);
+  for (std::size_t s = 0; s < n_shards_; ++s) engines_.push_back(std::make_unique<Engine>());
+  channels_.resize(n_shards_ * n_shards_);
+  seq_.resize(n_domains_);
+  horizon_.resize(n_shards_);
+  errors_.resize(n_shards_);
+
+  // Bind the constructing thread as the seeding context for shard 0.
+  tls_engine = engines_[0].get();
+  tls_shard = 0;
+  tls_window_end = 0.0;
+}
+
+ShardGroup::~ShardGroup() {
+  if (tls_engine == engines_[0].get()) tls_engine = nullptr;
+}
+
+std::uint32_t ShardGroup::domain_of_rank(std::size_t rank) const {
+  assert(rank < cfg_.n_ranks);
+  // The node-aligned cuts sit within one node of the balanced grid, so the
+  // balanced estimate is off by at most a step or two in either direction.
+  std::size_t d = std::min(n_domains_ - 1, rank * n_domains_ / cfg_.n_ranks);
+  while (d + 1 < n_domains_ && rank >= rank_lo_[d + 1]) ++d;
+  while (d > 0 && rank < rank_lo_[d]) --d;
+  return static_cast<std::uint32_t>(d);
+}
+
+void ShardGroup::post(std::uint32_t src_domain, std::size_t dst_shard, Time t,
+                      Engine::Callback fn) {
+  assert(src_domain < n_domains_);
+  assert(dst_shard < n_shards_);
+  assert(ran_ ? shard_of_domain(src_domain) == tls_shard : tls_shard == 0);
+  // Nothing may land inside the window in flight: clamp up to the boundary.
+  // This also absorbs sub-lookahead latencies and ulp-level rounding in the
+  // caller's timestamp arithmetic.
+  if (t < tls_window_end) t = tls_window_end;
+  std::uint64_t& seq = seq_[src_domain].v;
+  channels_[tls_shard * n_shards_ + dst_shard].push_back(Msg{t, src_domain, seq++, std::move(fn)});
+}
+
+bool ShardGroup::barrier_wait() {
+  const std::size_t gen = barrier_gen_.load(std::memory_order_acquire);
+  if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_shards_) {
+    barrier_count_.store(0, std::memory_order_relaxed);
+    barrier_gen_.store(gen + 1, std::memory_order_release);
+    return !abort_.load(std::memory_order_relaxed);
+  }
+  // Spin briefly, then yield: on a loaded (or single-core) host a pure spin
+  // would burn whole timeslices while the straggler shard waits for a CPU.
+  int spins = 0;
+  while (barrier_gen_.load(std::memory_order_acquire) == gen) {
+    if (abort_.load(std::memory_order_relaxed)) return false;
+    if (++spins > 256) std::this_thread::yield();
+  }
+  return !abort_.load(std::memory_order_relaxed);
+}
+
+void ShardGroup::drain_and_merge(std::size_t shard, std::vector<Msg>& merged,
+                                 double prev_window_end) {
+  merged.clear();
+  for (std::size_t src = 0; src < n_shards_; ++src) {
+    auto& ch = channels_[src * n_shards_ + shard];
+    for (Msg& m : ch) merged.push_back(std::move(m));
+    ch.clear();
+  }
+  const auto key_less = [](const Msg& a, const Msg& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.domain != b.domain) return a.domain < b.domain;
+    return a.seq < b.seq;
+  };
+  std::sort(merged.begin(), merged.end(), key_less);
+  if (merged.size() >= 2 && corrupt_.exchange(false, std::memory_order_relaxed))
+    std::iter_swap(merged.begin(), merged.begin() + 1);
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (merged[i].t < prev_window_end)
+      throw std::logic_error("ShardGroup: cross-shard message due before the window boundary");
+    if (i > 0 && !key_less(merged[i - 1], merged[i]))
+      throw std::logic_error("ShardGroup: cross-shard merge violates canonical (t, domain, seq) order");
+  }
+}
+
+void ShardGroup::worker(std::size_t shard) {
+  Engine& eng = *engines_[shard];
+  tls_engine = &eng;
+  tls_shard = shard;
+  tls_window_end = 0.0;
+  std::vector<Msg> merged;
+  double prev_end = 0.0;
+  for (;;) {
+    // Barrier A: all posts from the previous window (and, on the first
+    // round, from seeding) are visible; channels are quiescent.
+    if (!barrier_wait()) return;
+    drain_and_merge(shard, merged, prev_end);
+    for (Msg& m : merged) eng.schedule_at(m.t, std::move(m.fn));
+    horizon_[shard].next_event = eng.next_event_time();
+    horizon_[shard].pending_normal = eng.pending_normal();
+    // Barrier B: every shard's horizon is published.
+    if (!barrier_wait()) return;
+    double min_next = std::numeric_limits<double>::infinity();
+    std::size_t total_normal = 0;
+    for (std::size_t s = 0; s < n_shards_; ++s) {
+      min_next = std::min(min_next, horizon_[s].next_event);
+      total_normal += horizon_[s].pending_normal;
+    }
+    if (total_normal == 0) return;  // drained: channels were all empty at A
+    // Hop to the window containing the global minimum (skipping empty
+    // windows) on an integer grid; the guard absorbs floating-point
+    // rounding at exact-boundary timestamps.
+    auto k = static_cast<std::uint64_t>(min_next / window_s_);
+    double w_end = static_cast<double>(k + 1) * window_s_;
+    while (w_end <= min_next) w_end = static_cast<double>(++k + 1) * window_s_;
+    tls_window_end = w_end;
+    eng.run_before(w_end);
+    prev_end = w_end;
+  }
+}
+
+void ShardGroup::run() {
+  if (ran_) throw std::logic_error("ShardGroup: a group can only run once");
+  ran_ = true;
+  abort_.store(false, std::memory_order_relaxed);
+  if (n_shards_ == 1) {
+    worker(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(n_shards_);
+  for (std::size_t s = 0; s < n_shards_; ++s) {
+    threads.emplace_back([this, s] {
+      try {
+        worker(s);
+      } catch (...) {
+        errors_[s] = std::current_exception();
+        abort_.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Re-bind the caller as the post-run context for shard 0 (result readers,
+  // journal merging).
+  tls_engine = engines_[0].get();
+  tls_shard = 0;
+  for (auto& e : errors_)
+    if (e) std::rethrow_exception(e);
+}
+
+std::size_t ShardGroup::total_steps() const {
+  std::size_t n = 0;
+  for (const auto& e : engines_) n += e->steps();
+  return n;
+}
+
+}  // namespace aio::sim

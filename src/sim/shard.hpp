@@ -1,0 +1,159 @@
+// Sharded parallel discrete-event execution with conservative lookahead.
+//
+// A `ShardGroup` partitions one simulation into S shards, each running its
+// own `sim::Engine` (4-ary heap, SBO callbacks — unchanged) on its own
+// thread.  The partition is expressed through a fixed *domain grid* that is
+// independent of the shard count: the OST range and the rank range are cut
+// into D contiguous spans (D = min(32, n_osts) by default; rank cuts are
+// node-aligned so a node's NIC never straddles domains), and each shard owns
+// a contiguous run of domains.  Everything keyed by the same domain stays on
+// one engine; every cross-domain interaction — network deliveries, OST write
+// hand-offs, fabric-governor broadcasts, protocol completions — travels
+// through single-producer/single-consumer channels and is applied at a
+// window boundary.
+//
+// Time advances on a fixed window grid W_k = k * window.  Within a window a
+// shard runs `Engine::run_before(W_end)` — only events strictly inside the
+// window — then all shards meet at a barrier, exchange the messages posted
+// during the window, merge each inbox in canonical (time, source domain,
+// sequence) order, agree on the global minimum next event time, and hop to
+// the window containing it (empty windows are skipped wholesale).  The
+// window is derived from the minimum network latency (`net::latency_s`):
+// any window >= that lookahead is conservative because a message posted in
+// window k can only be *due* at or after the boundary, where it is applied
+// before any event of window k+1 executes.  Larger windows trade timing
+// granularity for barrier amortization (see DESIGN.md §10); the default is
+// 64 lookaheads.
+//
+// Determinism: because the domain grid, the window grid, and the merge order
+// are all independent of S, the event sequence each domain observes — and
+// therefore every simulated timestamp — is bit-identical at any shard count,
+// including S = 1 (which runs the same window loop inline, no threads).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace aio::sim {
+
+/// Engine of the shard executing on the current thread (engine 0 outside the
+/// window loop, e.g. while seeding).  Null until a ShardGroup exists on this
+/// thread's session.
+[[nodiscard]] Engine* current_engine();
+/// Index of the shard executing on the current thread (0 while seeding).
+[[nodiscard]] std::size_t current_shard_index();
+
+class ShardGroup {
+ public:
+  struct Config {
+    std::size_t n_shards = 1;  ///< requested; clamped to [1, n_domains]
+    double lookahead_s = 8e-6; ///< conservative bound: min cross-shard latency
+    /// Window = lookahead * window_batch.  Must be >= 1; larger values
+    /// amortize the per-window barriers over more events at the cost of
+    /// coarser cross-domain timing quantization.
+    double window_batch = 64.0;
+    std::size_t n_domains = 0;  ///< 0 = min(kDefaultDomains, n_osts)
+    std::size_t n_ranks = 0;    ///< total protocol ranks (> 0)
+    std::size_t ranks_per_node = 1;  ///< NIC granularity for rank cuts
+    std::size_t n_osts = 0;     ///< total storage targets (> 0)
+  };
+  static constexpr std::size_t kDefaultDomains = 32;
+
+  explicit ShardGroup(Config config);
+  ~ShardGroup();
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  [[nodiscard]] std::size_t n_shards() const { return n_shards_; }
+  [[nodiscard]] std::size_t n_domains() const { return n_domains_; }
+  [[nodiscard]] std::size_t n_ranks() const { return cfg_.n_ranks; }
+  [[nodiscard]] std::size_t n_osts() const { return cfg_.n_osts; }
+  [[nodiscard]] double lookahead_s() const { return cfg_.lookahead_s; }
+  [[nodiscard]] double window_s() const { return window_s_; }
+
+  [[nodiscard]] Engine& engine(std::size_t shard) { return *engines_[shard]; }
+
+  [[nodiscard]] std::uint32_t domain_of_rank(std::size_t rank) const;
+  [[nodiscard]] std::uint32_t domain_of_ost(std::size_t ost) const {
+    return static_cast<std::uint32_t>(((ost + 1) * n_domains_ - 1) / cfg_.n_osts);
+  }
+  [[nodiscard]] std::size_t shard_of_domain(std::uint32_t domain) const {
+    return ((static_cast<std::size_t>(domain) + 1) * n_shards_ - 1) / n_domains_;
+  }
+  [[nodiscard]] Engine& engine_of_rank(std::size_t rank) {
+    return engine(shard_of_domain(domain_of_rank(rank)));
+  }
+  [[nodiscard]] Engine& engine_of_ost(std::size_t ost) {
+    return engine(shard_of_domain(domain_of_ost(ost)));
+  }
+
+  /// Posts `fn` to `dst_shard`, to run at simulated time `t` (clamped up to
+  /// the current window boundary — nothing may land inside the window in
+  /// flight).  `src_domain` must be owned by the calling shard; together
+  /// with a per-domain sequence number it forms the canonical merge key.
+  void post(std::uint32_t src_domain, std::size_t dst_shard, Time t, Engine::Callback fn);
+
+  /// Posts `fn` to run exactly at the next window boundary (the canonical
+  /// apply time for zero-delay cross-domain couplings).
+  void post_at_boundary(std::uint32_t src_domain, std::size_t dst_shard, Engine::Callback fn) {
+    post(src_domain, dst_shard, 0.0, std::move(fn));
+  }
+
+  /// Runs the window loop on all shards until no shard holds a normal event
+  /// and all channels are empty.  S > 1 spawns S worker threads; S == 1 runs
+  /// the identical loop inline.  Rethrows the first worker exception.  A
+  /// group can only run once.
+  void run();
+
+  /// Total events executed across all shards.
+  [[nodiscard]] std::size_t total_steps() const;
+
+  /// Test hook: makes the next multi-message merge swap two entries so the
+  /// canonical-order validator must reject it (proves misordered cross-shard
+  /// merges cannot pass silently).
+  void corrupt_next_merge_for_test() { corrupt_.store(true, std::memory_order_relaxed); }
+
+ private:
+  struct Msg {
+    Time t;
+    std::uint32_t domain;  // source domain: second merge key
+    std::uint64_t seq;     // per-source-domain sequence: third merge key
+    Engine::Callback fn;
+  };
+  struct alignas(64) SeqCounter {
+    std::uint64_t v = 0;
+  };
+  struct alignas(64) Horizon {
+    double next_event = 0.0;
+    std::size_t pending_normal = 0;
+  };
+
+  void worker(std::size_t shard);
+  void drain_and_merge(std::size_t shard, std::vector<Msg>& merged, double prev_window_end);
+
+  Config cfg_;
+  std::size_t n_shards_ = 1;
+  std::size_t n_domains_ = 1;
+  double window_s_ = 0.0;
+  std::vector<std::size_t> rank_lo_;  // D+1 node-aligned rank cuts
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::vector<Msg>> channels_;  // [src_shard * S + dst_shard]
+  std::vector<SeqCounter> seq_;             // one per domain
+  std::vector<Horizon> horizon_;            // one per shard
+  std::atomic<std::size_t> barrier_count_{0};
+  std::atomic<std::size_t> barrier_gen_{0};
+  std::atomic<bool> abort_{false};
+  std::atomic<bool> corrupt_{false};
+  std::vector<std::exception_ptr> errors_;
+  bool ran_ = false;
+
+  bool barrier_wait();  // false = abort observed; leave the loop
+};
+
+}  // namespace aio::sim

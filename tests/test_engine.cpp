@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -129,6 +130,37 @@ TEST(Engine, RunUntilIncludesEventsExactlyAtBoundary) {
   e.schedule_at(2.0, [&] { fired = true; });
   e.run_until(2.0);
   EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RunBeforeExcludesBoundaryAndKeepsClock) {
+  Engine e;
+  std::vector<Time> fired;
+  for (int i = 1; i <= 5; ++i)
+    e.schedule_at(static_cast<double>(i), [&fired, &e] { fired.push_back(e.now()); });
+  // Strictly-before semantics: the event at t=3 must NOT fire...
+  EXPECT_EQ(e.run_before(3.0), 2u);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired.back(), 2.0);
+  // ...and the clock stays at the last fired event, not the window edge,
+  // so a follow-up schedule_at(3.0) from the caller is still legal.
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  e.schedule_at(3.0, [&fired, &e] { fired.push_back(e.now()); });
+  EXPECT_EQ(e.run_before(100.0), 4u);
+  EXPECT_EQ(fired.size(), 6u);
+}
+
+TEST(Engine, NextEventTimeTracksHeapAndCancellation) {
+  Engine e;
+  constexpr Time inf = std::numeric_limits<Time>::infinity();
+  EXPECT_EQ(e.next_event_time(), inf);
+  auto h = e.schedule_at(5.0, [] {});
+  e.schedule_at(9.0, [] {});
+  EXPECT_DOUBLE_EQ(e.next_event_time(), 5.0);
+  // Cancelling the head must be seen through (dead heads are skipped).
+  EXPECT_TRUE(e.cancel(h));
+  EXPECT_DOUBLE_EQ(e.next_event_time(), 9.0);
+  e.run();
+  EXPECT_EQ(e.next_event_time(), inf);
 }
 
 TEST(Engine, RunStopsWhenOnlyDaemonsRemain) {

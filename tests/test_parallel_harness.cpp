@@ -90,6 +90,72 @@ TEST(BenchThreads, EnvOverrideAndDefault) {
   EXPECT_GE(bench::bench_threads(), 1u);
 }
 
+TEST(BenchThreads, ShardSweepClampsSampleThreads) {
+  // With an S-shard sweep active, sample threads are capped at hw/S so the
+  // product of sample threads and shard threads fits the machine.
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  ::setenv("AIO_BENCH_THREADS", "64", 1);
+  ::setenv("AIO_SIM_SHARDS", "1,2,8", 1);
+  EXPECT_EQ(bench::bench_threads(), std::max<std::size_t>(1, hw / 8));
+  ::unsetenv("AIO_SIM_SHARDS");
+  EXPECT_EQ(bench::bench_threads(), 64u);
+  ::unsetenv("AIO_BENCH_THREADS");
+}
+
+TEST(ShardSweep, ParsesStrictCommaList) {
+  ::setenv("AIO_SIM_SHARDS", "1,2,4,8", 1);
+  const auto sweep = bench::shard_sweep();
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_EQ(sweep[0], 1u);
+  EXPECT_EQ(sweep[3], 8u);
+  EXPECT_EQ(bench::max_shards(), 8u);
+  ::setenv("AIO_SIM_SHARDS", "4", 1);
+  ASSERT_EQ(bench::shard_sweep().size(), 1u);
+  // Malformed lists are rejected whole, not partially honoured.
+  for (const char* bad : {"1,2,x", "0,2", "2,", ",2", "-1", "1;2"}) {
+    ::setenv("AIO_SIM_SHARDS", bad, 1);
+    EXPECT_TRUE(bench::shard_sweep().empty()) << bad;
+    EXPECT_EQ(bench::max_shards(), 1u) << bad;
+  }
+  ::unsetenv("AIO_SIM_SHARDS");
+  EXPECT_TRUE(bench::shard_sweep().empty());
+}
+
+TEST(PersistentPool, ReusesWorkersAcrossCalls) {
+  auto& pool = bench::detail::PersistentPool::instance();
+  // Warm the pool to 3 workers (4 participants incl. the caller), then
+  // hammer it: the spawned-thread high-water mark must not move.
+  (void)bench::run_samples(8, [](std::size_t i) { return i; }, 4);
+  const std::size_t spawned = pool.spawned();
+  EXPECT_GE(spawned, 3u);
+  for (int round = 0; round < 25; ++round)
+    (void)bench::run_samples(8, [](std::size_t i) { return i + 1; }, 4);
+  EXPECT_EQ(pool.spawned(), spawned) << "pool re-spawned threads per call";
+}
+
+TEST(PersistentPool, NestedCallsFallBackToSerial) {
+  // A unit that itself fans out must run its nested request on its own
+  // thread — otherwise a busy pool could deadlock.  Verify the nested call
+  // completes and sees itself pooled.
+  std::atomic<int> nested_serial{0};
+  const auto out = bench::run_samples(
+      6,
+      [&](std::size_t i) {
+        const auto inner =
+            bench::run_samples(4, [](std::size_t j) { return j * 10; }, 4);
+        if (bench::detail::PersistentPool::this_thread_is_pooled()) ++nested_serial;
+        std::size_t sum = 0;
+        for (const auto v : inner) sum += v;
+        return sum + i;
+      },
+      3);
+  ASSERT_EQ(out.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(out[i], 60u + i);
+  // Every unit ran under the pool guard (caller included).
+  EXPECT_EQ(nested_serial.load(), 6);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end determinism: a miniature fig1-style bench — independent
 // machines per unit, aggregate bandwidth summaries, aio-bench-v1 report —
