@@ -107,4 +107,74 @@ inline std::size_t max_shards() {
   return m;
 }
 
+/// Domain-grid override from `AIO_SIM_DOMAINS`: a positive integer, or 0
+/// (the default) for the built-in plan (min(32, n_osts)).  Same strictness
+/// as env_size: malformed values are rejected with a one-line stderr
+/// warning and the default plan is used.
+inline std::size_t sim_domains() {
+  const char* v = std::getenv("AIO_SIM_DOMAINS");
+  if (!v || !*v) return 0;
+  static bool warned = false;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || parsed <= 0) {
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr, "bench: ignoring AIO_SIM_DOMAINS=\"%s\" (want a positive integer)\n",
+                   v);
+    }
+    return 0;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Announces (once per process, stderr only) when the requested domain
+/// count exceeds the OST count: the grid clamps to one OST span per domain,
+/// so the run uses fewer domains than asked for.
+inline void warn_domains_exceed_osts(std::size_t domains, std::size_t n_osts) {
+  if (domains == 0 || domains <= n_osts) return;
+  static bool warned = false;
+  if (warned) return;
+  warned = true;
+  std::fprintf(stderr,
+               "bench: AIO_SIM_DOMAINS=%zu exceeds n_osts=%zu; the domain grid clamps to %zu "
+               "(every domain needs a non-empty OST span)\n",
+               domains, n_osts, n_osts);
+}
+
+/// Window-batch policy from `AIO_SIM_WINDOW_BATCH`: either a fixed
+/// multiplier (>= 1, possibly fractional) or the literal `auto`, which asks
+/// the bench to hill-climb the value across samples under wall-clock
+/// feedback (perf mode — rejected by determinism-mode rigs).
+struct WindowBatch {
+  double value = 64.0;     ///< fixed multiplier (ignored when auto_tune)
+  bool auto_tune = false;  ///< AIO_SIM_WINDOW_BATCH=auto
+};
+inline WindowBatch window_batch() {
+  WindowBatch wb;
+  const char* v = std::getenv("AIO_SIM_WINDOW_BATCH");
+  if (!v || !*v) return wb;
+  if (v[0] == 'a' && v[1] == 'u' && v[2] == 't' && v[3] == 'o' && v[4] == '\0') {
+    wb.auto_tune = true;
+    return wb;
+  }
+  static bool warned = false;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v, &end);
+  if (errno != 0 || end == v || *end != '\0' || !(parsed >= 1.0)) {
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "bench: ignoring AIO_SIM_WINDOW_BATCH=\"%s\" (want a number >= 1 or "
+                   "\"auto\")\n",
+                   v);
+    }
+    return wb;
+  }
+  wb.value = parsed;
+  return wb;
+}
+
 }  // namespace aio::bench

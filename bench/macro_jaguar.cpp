@@ -18,8 +18,13 @@
 // With `AIO_SIM_SHARDS` set (a comma list, e.g. 1,2,8) the adaptive rows
 // additionally sweep the sharded engine at those shard counts: a "shards"
 // column appears, each adaptive row runs through core::ShardedAdaptiveSim,
-// and the JSON rows carry a "shards" value.  Unset, the bench's stdout is
-// byte-identical to a build without sharding.
+// and the JSON rows carry a "shards" value plus window-loop telemetry
+// (window_batch, windows_executed, windows_skipped, barrier_rounds).
+// `AIO_SIM_DOMAINS` overrides the domain grid and `AIO_SIM_WINDOW_BATCH`
+// the window multiplier — a number keeps determinism mode, the literal
+// `auto` switches the sharded rows to perf mode and hill-climbs the
+// multiplier across samples (bench/tuner.hpp).  Unset, the bench's stdout
+// is byte-identical to a build without sharding.
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -35,6 +40,7 @@
 
 #include "core/transports/sharded.hpp"
 #include "harness.hpp"
+#include "tuner.hpp"
 #include "workload/pixie3d.hpp"
 
 namespace {
@@ -75,6 +81,12 @@ struct RunCost {
   double sim_s = 0.0;         ///< simulated seconds the run produced
   double events_per_s = 0.0;  ///< engine steps per host second
   std::uint64_t rss_delta = 0;  ///< resident growth across the whole sample
+  // Sharded rows only: the window multiplier the sample ran at and the
+  // shard group's window-loop telemetry (see sim::ShardGroup).
+  double window_batch = 0.0;
+  std::uint64_t windows_executed = 0;
+  std::uint64_t windows_skipped = 0;
+  std::uint64_t barrier_rounds = 0;
 };
 
 /// One cold sample: build a rig sized to `procs`, run one collective output,
@@ -153,7 +165,8 @@ RunCost run_one(const fs::MachineSpec& spec, const workload::Pixie3dConfig& mode
 /// re-homed into the bench-wide journal under a fresh run ordinal, so
 /// tools/aio_report reads sharded and classic runs out of one file.
 RunCost run_one_sharded(const fs::MachineSpec& spec, const workload::Pixie3dConfig& model,
-                        std::size_t procs, std::size_t n_shards, obs::Journal* journal) {
+                        std::size_t procs, std::size_t n_shards, std::size_t n_domains,
+                        double window_batch, bool auto_mode, obs::Journal* journal) {
   const std::uint64_t rss0 = current_rss_bytes();
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -164,6 +177,10 @@ RunCost run_one_sharded(const fs::MachineSpec& spec, const workload::Pixie3dConf
   cfg.net = net::NetConfig{spec.msg_latency_s, spec.nic_bw, spec.cores_per_node};
   enable_streamed_merge(cfg.adaptive, 0);  // n_files = 0: one file per OST
   cfg.collect_journal = journal != nullptr;
+  cfg.n_domains = n_domains;
+  cfg.window_batch = window_batch;
+  cfg.deterministic = !auto_mode;
+  cfg.window_batch_auto = auto_mode;
   core::ShardedAdaptiveSim sim(cfg);
   const core::IoResult result = sim.run(workload::pixie3d_job(model, procs));
 
@@ -172,6 +189,10 @@ RunCost run_one_sharded(const fs::MachineSpec& spec, const workload::Pixie3dConf
   cost.sim_s = result.io_seconds();
   cost.events_per_s =
       cost.wall_s > 0.0 ? static_cast<double>(sim.steps()) / cost.wall_s : 0.0;
+  cost.window_batch = window_batch;
+  cost.windows_executed = sim.shards().windows_executed();
+  cost.windows_skipped = sim.shards().windows_skipped();
+  cost.barrier_rounds = sim.shards().barrier_rounds();
   const std::uint64_t rss1 = current_rss_bytes();
   cost.rss_delta = rss1 > rss0 ? rss1 - rss0 : 0;
 
@@ -195,6 +216,8 @@ int main() {
   const std::size_t samples = bench::samples_or(1);
   const std::size_t max_procs = bench::max_procs_or(224160);
   const std::vector<std::size_t> shard_sweep = bench::shard_sweep();
+  const std::size_t sim_domains = bench::sim_domains();
+  const bench::WindowBatch wb = bench::window_batch();
   bench::warn_unreached_max_procs(max_procs, {16384, 65536, 224160});
   bench::banner("macro_jaguar",
                 "paper-scale weak scaling: simulator cost up to the full 224,160-core Jaguar",
@@ -206,6 +229,7 @@ int main() {
 
   const fs::MachineSpec spec = fs::jaguar();
   const workload::Pixie3dConfig model = workload::Pixie3dConfig::small_model();
+  if (!shard_sweep.empty()) bench::warn_domains_exceed_osts(sim_domains, spec.fs.n_osts);
 
   // One journal across the whole sweep (serial bench, one "machine" at a
   // time); each adaptive run appends its own kRunBegin..kComplete span.
@@ -249,7 +273,13 @@ int main() {
         .value("bytes_per_writer", bytes_per_writer)
         .value("peak_rss_bytes", static_cast<double>(bench::peak_rss_bytes()))
         .stat("wall_s", wall);
-    if (shards != 0) row.value("shards", static_cast<double>(shards));
+    if (shards != 0) {
+      row.value("shards", static_cast<double>(shards))
+          .value("window_batch", last.window_batch)
+          .value("windows_executed", static_cast<double>(last.windows_executed))
+          .value("windows_skipped", static_cast<double>(last.windows_skipped))
+          .value("barrier_rounds", static_cast<double>(last.barrier_rounds));
+    }
   };
 
   // Ascending scales: the first (16,384-writer) rows run in a pristine
@@ -262,12 +292,19 @@ int main() {
       if (!adaptive && !mpiio_feasible) continue;
       if (adaptive && !shard_sweep.empty()) {
         // Sharded sweep: each requested shard count is its own sweep point.
+        // In perf mode (AIO_SIM_WINDOW_BATCH=auto) each sweep point gets its
+        // own hill climb — the optimum shifts with both scale and shard
+        // count, so tuner state must not leak between points.
         for (const std::size_t n_shards : shard_sweep) {
           stats::Summary wall;
           RunCost last;
+          bench::WindowBatchTuner tuner(wb.value);
           for (std::size_t s = 0; s < samples; ++s) {
-            last = run_one_sharded(spec, model, procs, n_shards, journal.get());
+            const double batch = wb.auto_tune ? tuner.next() : wb.value;
+            last = run_one_sharded(spec, model, procs, n_shards, sim_domains, batch,
+                                   wb.auto_tune, journal.get());
             wall.add(last.wall_s);
+            if (wb.auto_tune) tuner.feedback(last.wall_s);
           }
           emit(procs, "adaptive", n_shards, wall, last);
         }

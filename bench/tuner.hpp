@@ -1,0 +1,92 @@
+// Online window-batch tuner for perf-mode bench sweeps.
+//
+// IOPathTune-style hill climbing on one I/O-path parameter: the sharded
+// engine's `window_batch` multiplier trades barrier amortization (large
+// windows) against cross-entity timing granularity and merge batch sizes
+// (small windows), and its optimum depends on the host — core count, cache
+// sizes, oversubscription — so it is worth searching at run time rather
+// than fixing at compile time.  The tuner drives a multiplicative probe
+// ladder across bench *samples*: measure the incumbent, probe one doubling
+// (or halving) step, accept the step only on a clear wall-clock win, and
+// reverse direction on a loss; two reversals without a win means the
+// incumbent sits in a plateau and the tuner freezes there for the remaining
+// samples.  Wall-clock feedback makes the trajectory host-dependent by
+// design, which is why determinism-mode rigs reject it
+// (`ShardedAdaptiveSim::Config::window_batch_auto`): a tuned window changes
+// the cross-entity quantization grid, so two runs of one sweep would no
+// longer produce comparable digests.
+#pragma once
+
+#include <algorithm>
+
+namespace aio::bench {
+
+class WindowBatchTuner {
+ public:
+  /// `initial` is the first incumbent (clamped into [lo, hi]).
+  explicit WindowBatchTuner(double initial, double lo = 1.0, double hi = 4096.0)
+      : lo_(lo), hi_(hi), current_(std::clamp(initial, lo, hi)) {}
+
+  /// Value the next sample should run at.
+  [[nodiscard]] double next() const { return probing_ ? candidate_ : current_; }
+
+  /// True once the search has settled on `current_` for good.
+  [[nodiscard]] bool converged() const { return converged_; }
+
+  /// Incumbent value (the best known once converged).
+  [[nodiscard]] double current() const { return current_; }
+
+  /// Reports the wall clock of the sample that ran at next().
+  void feedback(double wall_s) {
+    if (converged_) return;
+    if (!probing_) {
+      incumbent_wall_ = wall_s;
+      if (!propose()) converged_ = true;
+      return;
+    }
+    probing_ = false;
+    if (wall_s < incumbent_wall_ * (1.0 - kWinMargin)) {
+      // Clear win: move, remember its wall as the new incumbent's, and keep
+      // climbing in the same direction.
+      current_ = candidate_;
+      incumbent_wall_ = wall_s;
+      if (!propose()) converged_ = true;
+      return;
+    }
+    up_ = !up_;
+    if (++reversals_ >= 2 || !propose()) converged_ = true;
+  }
+
+ private:
+  // A probe must beat the incumbent by 3% to count: samples are noisy, and
+  // chasing noise walks the window off a plateau for no real gain.
+  static constexpr double kWinMargin = 0.03;
+
+  /// Proposes the next candidate one multiplicative step from the
+  /// incumbent; false when the step would leave [lo, hi].
+  bool propose() {
+    const double cand = up_ ? current_ * 2.0 : current_ * 0.5;
+    if (cand < lo_ || cand > hi_) {
+      up_ = !up_;
+      const double back = up_ ? current_ * 2.0 : current_ * 0.5;
+      if (back < lo_ || back > hi_ || ++reversals_ >= 2) return false;
+      candidate_ = back;
+    } else {
+      candidate_ = cand;
+    }
+    probing_ = true;
+    return true;
+  }
+
+  double lo_;
+  double hi_;
+  double current_;
+  double candidate_ = 0.0;
+  double incumbent_wall_ = 0.0;
+  bool up_ = true;
+  bool probing_ = false;
+  bool converged_ = false;
+  int reversals_ = 0;
+};
+
+}  // namespace aio::bench

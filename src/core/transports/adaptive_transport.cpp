@@ -61,8 +61,9 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
 
   /// Non-null for runs homed on a sharded file system: protocol events
   /// execute on the shard owning the acting rank's domain, and every
-  /// cross-domain coupling (writes to remote OSTs, role completions to the
-  /// coordinator) travels through the shard group's channel plane.
+  /// coupling that crosses a node or storage boundary (writes to OSTs, role
+  /// completions to the coordinator's node) travels through the shard
+  /// group's channel plane regardless of the domain layout.
   sim::ShardGroup* shards = nullptr;
 
   AdaptiveRun(fs::FileSystem& f, net::Network& n, AdaptiveTransport::Config c, Topology t)
@@ -133,9 +134,10 @@ struct AdaptiveRun : std::enable_shared_from_this<AdaptiveRun> {
   void role_done();
 
   /// Issues a data write on `file`, completing through `done(from, file_id)`.
-  /// Classic runs call straight into the striped file.  Sharded runs hop to
-  /// the OST's home shard when the issuer's domain differs from the target's,
-  /// and hop the completion back; both hops land on window boundaries.
+  /// Classic runs call straight into the striped file.  Sharded runs always
+  /// hop to the OST's home shard and hop the completion back (a rank→OST
+  /// write crosses the compute/storage boundary by definition); both hops
+  /// land on window boundaries.
   void issue_write(Rank from, fs::StripedFile& file, double offset, double bytes,
                    fs::Ost::Mode mode, std::uint32_t file_id, WriteDone done);
 
@@ -426,27 +428,29 @@ void AdaptiveRun::issue_write(Rank from, fs::StripedFile& file, double offset, d
                               fs::Ost::Mode mode, std::uint32_t file_id, WriteDone done) {
   auto self = shared_from_this();
   if (shards) {
-    const std::uint32_t src_dom = shards->domain_of_rank(static_cast<std::size_t>(from));
+    // A rank→OST write always crosses the compute/storage boundary, so it
+    // always quantizes: hop to the OST's home shard to issue, and hop the
+    // completion back to the issuer's shard.  Both hops land on window
+    // boundaries whatever the domain layout — the same-domain case is not
+    // special-cased, which is what keeps the timing invariant under
+    // AIO_SIM_DOMAINS.
+    const std::uint32_t src_key = shards->key_of_rank(static_cast<std::size_t>(from));
     const std::uint32_t dst_dom = shards->domain_of_ost(file.target_of(offset));
-    if (src_dom != dst_dom) {
-      // Hop to the OST's home shard to issue; the completion hops back to
-      // the issuer's shard.  Both hops land on window boundaries.
-      shards->post_at_boundary(
-          src_dom, shards->shard_of_domain(dst_dom),
-          [self, f = &file, offset, bytes, mode, from, file_id, done] {
-            const std::uint32_t ost_dom = self->shards->domain_of_ost(f->target_of(offset));
-            f->write(offset, bytes, mode,
-                     [self, from, file_id, done, ost_dom](sim::Time) {
-                       sim::ShardGroup& sg = *self->shards;
-                       const std::size_t home = sg.shard_of_domain(
-                           sg.domain_of_rank(static_cast<std::size_t>(from)));
-                       sg.post_at_boundary(ost_dom, home, [self, from, file_id, done] {
-                         ((*self).*done)(from, file_id, self->eng().now());
-                       });
+    shards->post_at_boundary(
+        src_key, shards->shard_of_domain(dst_dom),
+        [self, f = &file, offset, bytes, mode, from, file_id, done] {
+          const std::uint32_t ost_key = self->shards->key_of_ost(f->target_of(offset));
+          f->write(offset, bytes, mode,
+                   [self, from, file_id, done, ost_key](sim::Time) {
+                     sim::ShardGroup& sg = *self->shards;
+                     const std::size_t home = sg.shard_of_domain(
+                         sg.domain_of_rank(static_cast<std::size_t>(from)));
+                     sg.post_at_boundary(ost_key, home, [self, from, file_id, done] {
+                       ((*self).*done)(from, file_id, self->eng().now());
                      });
-          });
-      return;
-    }
+                   });
+        });
+    return;
   }
   file.write(offset, bytes, mode, [self, from, file_id, done](sim::Time now) {
     ((*self).*done)(from, file_id, now);
@@ -525,16 +529,20 @@ void AdaptiveRun::execute(Rank from, Actions& actions) {
         role_done();
         continue;
       }
-      // The role tally lives with the coordinator; remote domains hand their
-      // completion over the channel plane so it is counted on its home shard
-      // in canonical order.
-      const std::uint32_t src_dom = shards->domain_of_rank(static_cast<std::size_t>(from));
-      const std::uint32_t coord_dom = shards->domain_of_rank(
+      // The role tally lives with the coordinator; ranks on other nodes hand
+      // their completion over the channel plane so it is counted on its home
+      // shard in canonical order.  The predicate is the coordinator's *node*
+      // — same node means same engine at any domain count, and the tally is
+      // commutative, so mixing direct and quantized decrements is safe.
+      const std::uint32_t src_key = shards->key_of_rank(static_cast<std::size_t>(from));
+      const std::uint32_t coord_key = shards->key_of_rank(
           static_cast<std::size_t>(Topology::coordinator_rank()));
-      if (src_dom == coord_dom) {
+      if (src_key == coord_key) {
         role_done();
       } else {
-        shards->post_at_boundary(src_dom, shards->shard_of_domain(coord_dom),
+        const std::uint32_t coord_dom = shards->domain_of_rank(
+            static_cast<std::size_t>(Topology::coordinator_rank()));
+        shards->post_at_boundary(src_key, shards->shard_of_domain(coord_dom),
                                  [self] { self->role_done(); });
       }
     }

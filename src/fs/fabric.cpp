@@ -4,11 +4,30 @@
 #include <cassert>
 #include <cmath>
 
+#include "sim/engine.hpp"
+
 namespace aio::fs {
 
 void FabricGovernor::attach(Ost& ost) {
   osts_.push_back(&ost);
   ost.set_activity_hook([this](bool active) { on_activity(active); });
+}
+
+void FabricGovernor::notify_activity_batched(bool became_active, sim::Engine& engine) {
+  if (became_active) {
+    ++active_;
+  } else {
+    assert(active_ > 0);
+    --active_;
+  }
+  if (recompute_armed_) return;
+  recompute_armed_ = true;
+  // Same-instant events fire FIFO, so this runs after every transition the
+  // boundary batch scheduled before it — one decision from the final count.
+  engine.schedule_at(engine.now(), [this] {
+    recompute_armed_ = false;
+    apply();
+  });
 }
 
 void FabricGovernor::on_activity(bool became_active) {

@@ -17,6 +17,10 @@
 
 #include "fs/ost.hpp"
 
+namespace aio::sim {
+class Engine;
+}
+
 namespace aio::fs {
 
 class FabricGovernor {
@@ -40,6 +44,15 @@ class FabricGovernor {
   /// governor's state machine.
   void notify_activity(bool became_active) { on_activity(became_active); }
 
+  /// Batched replica feed for sharded runs: applies the count change
+  /// immediately but defers the factor recompute to a single event at the
+  /// current instant (scheduled once per batch).  Transitions merged at one
+  /// window boundary therefore produce exactly one hysteresis decision from
+  /// the *final* active count — the outcome is independent of the order the
+  /// batch drains in, which is what keeps the factor sequence invariant
+  /// under the domain and shard counts.
+  void notify_activity_batched(bool became_active, sim::Engine& engine);
+
   [[nodiscard]] std::size_t active_count() const { return active_; }
   [[nodiscard]] double current_factor() const { return applied_factor_; }
   [[nodiscard]] double fabric_bw() const { return fabric_bw_; }
@@ -53,6 +66,7 @@ class FabricGovernor {
   std::vector<Ost*> osts_;
   std::size_t active_ = 0;
   double applied_factor_ = 1.0;
+  bool recompute_armed_ = false;  // a batched recompute event is scheduled
 };
 
 }  // namespace aio::fs

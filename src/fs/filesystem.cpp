@@ -158,14 +158,18 @@ FileSystem::FileSystem(sim::ShardGroup& shards, FsConfig config)
     osts_.push_back(std::make_unique<Ost>(shards.engine(home), config_.ost, static_cast<int>(i)));
     fabric_replicas_[home].adopt(*osts_.back());
     if (config_.fabric_bw > 0.0) {
-      // Broadcast every activity transition to all replicas; each applies it
-      // at the next window boundary, so the replicas' hysteresis state
-      // machines see one identical global stream at any shard count.
+      // Broadcast every activity transition to all replicas; each counts it
+      // at the next window boundary and defers the factor recompute to one
+      // event after the whole boundary batch, so the replicas' hysteresis
+      // state machines make identical decisions at any shard *or domain*
+      // count (the batched apply is order-free within the boundary instant).
       Ost* ost = osts_.back().get();
-      ost->set_activity_hook([sg = &shards, reps = &fabric_replicas_, dom, n_shards](bool active) {
+      const std::uint32_t key = shards.key_of_ost(i);
+      ost->set_activity_hook([sg = &shards, reps = &fabric_replicas_, key, n_shards](bool active) {
         for (std::size_t d = 0; d < n_shards; ++d) {
-          sg->post_at_boundary(dom, d,
-                               [reps, d, active] { (*reps)[d].notify_activity(active); });
+          sg->post_at_boundary(key, d, [reps, d, active] {
+            (*reps)[d].notify_activity_batched(active, *sim::current_engine());
+          });
         }
       });
     }

@@ -73,31 +73,43 @@ void Network::send(Rank from, Rank to, double bytes, Deliver deliver) {
   }
 
   // Sharded routing.  The sender's NIC and the send event both live on the
-  // sender's shard; only the final delivery may cross domains, in which case
-  // it goes through the channel plane and lands on a window boundary.
+  // sender's shard.  Deliveries quantize by physical topology, never by the
+  // domain layout: a message that stays on one node is scheduled directly
+  // (node-aligned rank cuts guarantee same node ⇒ same engine), while every
+  // node-crossing delivery goes through the channel plane and lands on a
+  // window boundary — even when both nodes share a domain.  Keying the rule
+  // to nodes (not domains) is what makes the simulated timestamps invariant
+  // under AIO_SIM_DOMAINS.
   sim::ShardGroup& sg = *shards_;
-  const std::uint32_t src_dom = sg.domain_of_rank(static_cast<std::size_t>(from));
-  const std::uint32_t dst_dom = sg.domain_of_rank(static_cast<std::size_t>(to));
+  const bool same_node = node_of(from) == node_of(to);
   sim::Engine& src_eng = sg.engine_of_rank(static_cast<std::size_t>(from));
   if (from == to || bytes <= 0.0) {
-    if (src_dom == dst_dom) {
+    if (same_node) {
       src_eng.schedule_after(latency, std::move(deliver));
     } else {
-      sg.post(src_dom, sg.shard_of_domain(dst_dom), src_eng.now() + latency,
+      const std::uint32_t src_key = sg.key_of_rank(static_cast<std::size_t>(from));
+      const std::uint32_t dst_dom = sg.domain_of_rank(static_cast<std::size_t>(to));
+      sg.post(src_key, sg.shard_of_domain(dst_dom), src_eng.now() + latency,
               std::move(deliver));
     }
     return;
   }
-  // The relay always fires on the sender's shard (the NIC lives there), so
-  // the engine and latency can be re-derived at fire time; that keeps the
-  // closure at exactly the classic relay's footprint.
-  auto relay = [this, src_dom, dst_dom, deliver = std::move(deliver)](sim::Time now) mutable {
-    if (src_dom == dst_dom) {
+  if (same_node) {
+    auto relay = [this, deliver = std::move(deliver)](sim::Time) mutable {
       sim::current_engine()->schedule_after(config_.latency_s, std::move(deliver));
-    } else {
-      shards_->post(src_dom, shards_->shard_of_domain(dst_dom), now + config_.latency_s,
-                    std::move(deliver));
-    }
+    };
+    static_assert(sizeof(relay) <= 128, "sharded NIC relay outgrew FluidResource::OnComplete SBO");
+    nics_[node_of(from)]->start(bytes, std::move(relay));
+    return;
+  }
+  // The relay always fires on the sender's shard (the NIC lives there); the
+  // source key and destination shard are fixed at send time, so the closure
+  // stays at exactly the classic relay's footprint.
+  const std::uint32_t src_key = sg.key_of_rank(static_cast<std::size_t>(from));
+  const auto dst_shard = static_cast<std::uint32_t>(
+      sg.shard_of_domain(sg.domain_of_rank(static_cast<std::size_t>(to))));
+  auto relay = [this, src_key, dst_shard, deliver = std::move(deliver)](sim::Time now) mutable {
+    shards_->post(src_key, dst_shard, now + config_.latency_s, std::move(deliver));
   };
   static_assert(sizeof(relay) <= 128, "sharded NIC relay outgrew FluidResource::OnComplete SBO");
   nics_[node_of(from)]->start(bytes, std::move(relay));

@@ -44,9 +44,10 @@ class Network {
 
   /// Sharded construction: each node's NIC is homed on the engine of the
   /// shard owning its ranks (rank cuts are node-aligned, so a NIC never
-  /// straddles shards).  Cross-domain deliveries travel through the shard
-  /// group's channels and land on a window boundary; same-domain deliveries
-  /// are scheduled directly, exactly like the classic path.
+  /// straddles shards).  Node-crossing deliveries travel through the shard
+  /// group's channels and land on a window boundary regardless of the
+  /// domain layout; same-node deliveries are scheduled directly, exactly
+  /// like the classic path.
   Network(sim::ShardGroup& shards, NetConfig config, std::size_t n_ranks);
 
   /// Sends `bytes` from `from` to `to`; `deliver` runs at arrival time.

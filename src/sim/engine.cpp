@@ -91,6 +91,30 @@ void Engine::compact() {
   dead_in_heap_ = 0;
 }
 
+void Engine::fire(const Node& n) {
+  assert(n.time >= now_);
+  now_ = n.time;
+  ++steps_;
+  if (heartbeat_ && (steps_ & ((1u << 20) - 1)) == 0) {
+    std::fprintf(stderr, "[engine] steps=%zu t=%.9f pending=%zu\n", steps_, now_, pending());
+  }
+  Slot& s = slot(n.slot);
+  const bool daemon = s.daemon;
+  // Move the callback out before releasing: the callback may schedule new
+  // events, reusing (or growing past) this very slot.
+  Callback cb = std::move(s.cb);
+  release(n.slot);
+  // Per-dispatch tracing is opt-in (Cat::Engine is off by default): one
+  // instant per event multiplies trace volume by the total step count.
+  if (trace_ && trace_->wants(obs::kCatEngine)) {
+    trace_->instant(obs::kCatEngine, obs::kPidEngine, daemon ? 2 : 1, now_,
+                    "dispatch",
+                    {{"step", obs::Json(static_cast<double>(steps_))},
+                     {"pending", obs::Json(static_cast<double>(pending()))}});
+  }
+  cb();
+}
+
 bool Engine::pop_one() {
   while (!heap_.empty()) {
 #if defined(__GNUC__) || defined(__clang__)
@@ -104,27 +128,7 @@ bool Engine::pop_one() {
       --dead_in_heap_;
       continue;
     }
-    assert(n.time >= now_);
-    now_ = n.time;
-    ++steps_;
-    if (heartbeat_ && (steps_ & ((1u << 20) - 1)) == 0) {
-      std::fprintf(stderr, "[engine] steps=%zu t=%.9f pending=%zu\n", steps_, now_, pending());
-    }
-    Slot& s = slot(n.slot);
-    const bool daemon = s.daemon;
-    // Move the callback out before releasing: the callback may schedule new
-    // events, reusing (or growing past) this very slot.
-    Callback cb = std::move(s.cb);
-    release(n.slot);
-    // Per-dispatch tracing is opt-in (Cat::Engine is off by default): one
-    // instant per event multiplies trace volume by the total step count.
-    if (trace_ && trace_->wants(obs::kCatEngine)) {
-      trace_->instant(obs::kCatEngine, obs::kPidEngine, daemon ? 2 : 1, now_,
-                      "dispatch",
-                      {{"step", obs::Json(static_cast<double>(steps_))},
-                       {"pending", obs::Json(static_cast<double>(pending()))}});
-    }
-    cb();
+    fire(n);
     return true;
   }
   return false;
@@ -143,6 +147,8 @@ std::size_t Engine::run(std::size_t max_steps) {
 }
 
 std::size_t Engine::run_before(Time t) {
+  // The sharded hot loop: the head is checked once, then fired directly —
+  // re-entering pop_one would rescan the head it just validated.
   std::size_t n = 0;
   while (!heap_.empty()) {
     if (!node_live(heap_.front())) {
@@ -151,7 +157,11 @@ std::size_t Engine::run_before(Time t) {
       continue;
     }
     if (heap_.front().time >= t) break;
-    if (pop_one()) ++n;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slot(heap_.front().slot));
+#endif
+    fire(dheap_pop(heap_, before));
+    ++n;
   }
   return n;
 }

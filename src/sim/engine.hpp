@@ -182,6 +182,7 @@ class Engine {
   void release(std::uint32_t slot);  // frees a fired slot, maintaining counters
   void reclaim(std::uint32_t slot);  // returns a cancelled slot once its node left the heap
   void compact();                    // drops cancelled nodes, re-heapifies
+  void fire(const Node& n);  // advances the clock to a live node and runs its callback
   bool pop_one();  // fires the next non-cancelled event; false if queue empty
   static bool heartbeat_enabled();
 

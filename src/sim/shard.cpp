@@ -16,10 +16,27 @@ namespace {
 // Per-thread shard context.  The main thread seeds through shard 0; worker
 // threads bind themselves on entry.  `tls_window_end` is the boundary every
 // in-flight post clamps to — 0 while seeding, so seed-time posts land at the
-// very first boundary.
+// very first boundary.  `tls_parity` selects the channel buffer posts go
+// into: seeding writes parity 0 (drained by round 0), the window run in
+// round r writes parity (r + 1) & 1 (drained by round r + 1).
 thread_local Engine* tls_engine = nullptr;
 thread_local std::size_t tls_shard = 0;
 thread_local double tls_window_end = 0.0;
+thread_local std::size_t tls_parity = 0;
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+// Barrier wait tuning: ~127 pause instructions of exponential backoff keep
+// the together-arriving hot case off the bus, a few yields cover the
+// oversubscribed case (S > cores), and everything longer parks on the futex.
+constexpr int kMaxPauseBatch = 64;
+constexpr int kMaxYields = 16;
 
 }  // namespace
 
@@ -38,6 +55,7 @@ ShardGroup::ShardGroup(Config config) : cfg_(config) {
   n_domains_ = std::min(n_domains_, cfg_.n_osts);  // an OST span must not be empty
   if (n_domains_ == 0) n_domains_ = 1;
   n_shards_ = std::clamp<std::size_t>(cfg_.n_shards, 1, n_domains_);
+  n_nodes_ = (cfg_.n_ranks + cfg_.ranks_per_node - 1) / cfg_.ranks_per_node;
   window_s_ = cfg_.lookahead_s * cfg_.window_batch;
 
   // Node-aligned rank cuts: round each balanced cut down to a node boundary
@@ -50,17 +68,52 @@ ShardGroup::ShardGroup(Config config) : cfg_(config) {
     rank_lo_[d] = std::max(rank_lo_[d - 1], raw / cfg_.ranks_per_node * cfg_.ranks_per_node);
   }
 
+  // Weight-balanced contiguous domain→shard cuts.  The static weight model
+  // counts the event sources a domain hosts — its ranks and its OSTs — and
+  // closes a shard once its share of the total is met (or once exactly
+  // enough domains remain to give every later shard one).  Deterministic,
+  // and irrelevant to results: ownership only decides which thread executes
+  // a domain, never how couplings quantize.
+  std::vector<std::size_t> weight(n_domains_, 0);
+  for (std::size_t o = 0; o < cfg_.n_osts; ++o) ++weight[domain_of_ost(o)];
+  std::size_t total_weight = 0;
+  for (std::size_t d = 0; d < n_domains_; ++d) {
+    weight[d] += rank_lo_[d + 1] - rank_lo_[d];
+    total_weight += weight[d];
+  }
+  shard_of_domain_.resize(n_domains_);
+  std::size_t s = 0;
+  std::size_t acc = 0;
+  for (std::size_t d = 0; d < n_domains_; ++d) {
+    shard_of_domain_[d] = s;
+    acc += weight[d];
+    if (s + 1 < n_shards_ && (acc * n_shards_ >= total_weight * (s + 1) ||
+                              n_domains_ - 1 - d == n_shards_ - 1 - s)) {
+      ++s;
+    }
+  }
+
+  // Entity keys: nodes first, then OSTs (see key_of_rank / key_of_ost).
+  domain_of_key_.resize(n_nodes_ + cfg_.n_osts);
+  for (std::size_t n = 0; n < n_nodes_; ++n)
+    domain_of_key_[n] = domain_of_rank(n * cfg_.ranks_per_node);
+  for (std::size_t o = 0; o < cfg_.n_osts; ++o)
+    domain_of_key_[n_nodes_ + o] = domain_of_ost(o);
+
   engines_.reserve(n_shards_);
-  for (std::size_t s = 0; s < n_shards_; ++s) engines_.push_back(std::make_unique<Engine>());
-  channels_.resize(n_shards_ * n_shards_);
-  seq_.resize(n_domains_);
-  horizon_.resize(n_shards_);
+  for (std::size_t i = 0; i < n_shards_; ++i) engines_.push_back(std::make_unique<Engine>());
+  channels_[0].resize(n_shards_ * n_shards_);
+  channels_[1].resize(n_shards_ * n_shards_);
+  seq_.resize(domain_of_key_.size(), 0);
+  horizon_.resize(2 * n_shards_);
+  out_.resize(n_shards_);
   errors_.resize(n_shards_);
 
   // Bind the constructing thread as the seeding context for shard 0.
   tls_engine = engines_[0].get();
   tls_shard = 0;
   tls_window_end = 0.0;
+  tls_parity = 0;
 }
 
 ShardGroup::~ShardGroup() {
@@ -77,47 +130,77 @@ std::uint32_t ShardGroup::domain_of_rank(std::size_t rank) const {
   return static_cast<std::uint32_t>(d);
 }
 
-void ShardGroup::post(std::uint32_t src_domain, std::size_t dst_shard, Time t,
+void ShardGroup::post(std::uint32_t src_key, std::size_t dst_shard, Time t,
                       Engine::Callback fn) {
-  assert(src_domain < n_domains_);
+  assert(src_key < domain_of_key_.size());
   assert(dst_shard < n_shards_);
-  assert(ran_ ? shard_of_domain(src_domain) == tls_shard : tls_shard == 0);
+  assert(ran_ ? shard_of_domain_[domain_of_key_[src_key]] == tls_shard : tls_shard == 0);
   // Nothing may land inside the window in flight: clamp up to the boundary.
   // This also absorbs sub-lookahead latencies and ulp-level rounding in the
   // caller's timestamp arithmetic.
   if (t < tls_window_end) t = tls_window_end;
-  std::uint64_t& seq = seq_[src_domain].v;
-  channels_[tls_shard * n_shards_ + dst_shard].push_back(Msg{t, src_domain, seq++, std::move(fn)});
+  // Producer-side horizon accounting: the poster knows the exact due time,
+  // so the barrier round can compute the global minimum without a second
+  // rendezvous to look inside anyone's inbox.
+  OutAcc& out = out_[tls_shard];
+  if (t < out.min_t) out.min_t = t;
+  ++out.count;
+  channels_[tls_parity][tls_shard * n_shards_ + dst_shard].push_back(
+      Msg{t, src_key, seq_[src_key]++, std::move(fn)});
 }
 
 bool ShardGroup::barrier_wait() {
-  const std::size_t gen = barrier_gen_.load(std::memory_order_acquire);
-  if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_shards_) {
-    barrier_count_.store(0, std::memory_order_relaxed);
-    barrier_gen_.store(gen + 1, std::memory_order_release);
-    return !abort_.load(std::memory_order_relaxed);
+  std::atomic<std::uint32_t>& phase = barrier_phase_.v;
+  const std::uint32_t entry = phase.load(std::memory_order_acquire);
+  if (entry & 1u) return false;  // aborted before arrival
+  if (barrier_count_.v.fetch_add(1, std::memory_order_acq_rel) + 1 == n_shards_) {
+    barrier_count_.v.store(0, std::memory_order_relaxed);
+    // Release the cohort: bump the generation, preserving the abort bit.
+    phase.fetch_add(2, std::memory_order_acq_rel);
+    phase.notify_all();
+    return !(phase.load(std::memory_order_acquire) & 1u);
   }
-  // Spin briefly, then yield: on a loaded (or single-core) host a pure spin
-  // would burn whole timeslices while the straggler shard waits for a CPU.
-  int spins = 0;
-  while (barrier_gen_.load(std::memory_order_acquire) == gen) {
-    if (abort_.load(std::memory_order_relaxed)) return false;
-    if (++spins > 256) std::this_thread::yield();
+  std::uint32_t cur = phase.load(std::memory_order_acquire);
+  int pauses = 1;
+  int yields = 0;
+  while ((cur >> 1) == (entry >> 1)) {
+    if (cur & 1u) return false;
+    if (pauses <= kMaxPauseBatch) {
+      // Bounded spin, exponentially backed off: latency-optimal when the
+      // cohort arrives together.
+      for (int i = 0; i < pauses; ++i) cpu_pause();
+      pauses <<= 1;
+    } else if (yields < kMaxYields) {
+      // Oversubscribed (S > cores) or a straggling shard: give the
+      // timeslice away instead of burning it.
+      std::this_thread::yield();
+      ++yields;
+    } else {
+      // Long idle: park on the phase word.  An abort flips its low bit, so
+      // the same futex wakes parked waiters for release and for abort.
+      phase.wait(cur, std::memory_order_acquire);
+    }
+    cur = phase.load(std::memory_order_acquire);
   }
-  return !abort_.load(std::memory_order_relaxed);
+  return !(cur & 1u);
 }
 
-void ShardGroup::drain_and_merge(std::size_t shard, std::vector<Msg>& merged,
+void ShardGroup::abort_barrier() {
+  barrier_phase_.v.fetch_or(1u, std::memory_order_acq_rel);
+  barrier_phase_.v.notify_all();
+}
+
+void ShardGroup::drain_and_merge(std::size_t shard, std::size_t parity, std::vector<Msg>& merged,
                                  double prev_window_end) {
   merged.clear();
   for (std::size_t src = 0; src < n_shards_; ++src) {
-    auto& ch = channels_[src * n_shards_ + shard];
+    auto& ch = channels_[parity][src * n_shards_ + shard];
     for (Msg& m : ch) merged.push_back(std::move(m));
     ch.clear();
   }
   const auto key_less = [](const Msg& a, const Msg& b) {
     if (a.t != b.t) return a.t < b.t;
-    if (a.domain != b.domain) return a.domain < b.domain;
+    if (a.key != b.key) return a.key < b.key;
     return a.seq < b.seq;
   };
   std::sort(merged.begin(), merged.end(), key_less);
@@ -127,7 +210,7 @@ void ShardGroup::drain_and_merge(std::size_t shard, std::vector<Msg>& merged,
     if (merged[i].t < prev_window_end)
       throw std::logic_error("ShardGroup: cross-shard message due before the window boundary");
     if (i > 0 && !key_less(merged[i - 1], merged[i]))
-      throw std::logic_error("ShardGroup: cross-shard merge violates canonical (t, domain, seq) order");
+      throw std::logic_error("ShardGroup: cross-shard merge violates canonical (t, entity, seq) order");
   }
 }
 
@@ -137,31 +220,48 @@ void ShardGroup::worker(std::size_t shard) {
   tls_shard = shard;
   tls_window_end = 0.0;
   std::vector<Msg> merged;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
   double prev_end = 0.0;
-  for (;;) {
-    // Barrier A: all posts from the previous window (and, on the first
-    // round, from seeding) are visible; channels are quiescent.
+  std::uint64_t prev_k = 0;
+  bool first_window = true;
+  for (std::uint64_t round = 0;; ++round) {
+    const std::size_t parity = round & 1;
+    // Publish this shard's horizon: the earliest thing it could make happen
+    // (its own next event, or the earliest message it posted last window)
+    // and how much it still owes the system.  Messages in flight count as
+    // pending until a drain schedules them onto an engine.
+    OutAcc& out = out_[shard];
+    Horizon& h = horizon_[parity * n_shards_ + shard];
+    h.next_event = std::min(eng.next_event_time(), out.min_t);
+    h.pending = eng.pending_normal() + out.count;
+    out.min_t = kInf;
+    out.count = 0;
+    if (shard == 0) rounds_ = round + 1;
     if (!barrier_wait()) return;
-    drain_and_merge(shard, merged, prev_end);
-    for (Msg& m : merged) eng.schedule_at(m.t, std::move(m.fn));
-    horizon_[shard].next_event = eng.next_event_time();
-    horizon_[shard].pending_normal = eng.pending_normal();
-    // Barrier B: every shard's horizon is published.
-    if (!barrier_wait()) return;
-    double min_next = std::numeric_limits<double>::infinity();
-    std::size_t total_normal = 0;
+    double min_next = kInf;
+    std::size_t total = 0;
     for (std::size_t s = 0; s < n_shards_; ++s) {
-      min_next = std::min(min_next, horizon_[s].next_event);
-      total_normal += horizon_[s].pending_normal;
+      const Horizon& hs = horizon_[parity * n_shards_ + s];
+      min_next = std::min(min_next, hs.next_event);
+      total += hs.pending;
     }
-    if (total_normal == 0) return;  // drained: channels were all empty at A
-    // Hop to the window containing the global minimum (skipping empty
-    // windows) on an integer grid; the guard absorbs floating-point
-    // rounding at exact-boundary timestamps.
+    if (total == 0) return;  // drained: engines idle, no message in flight
+    drain_and_merge(shard, parity, merged, prev_end);
+    for (Msg& m : merged) eng.schedule_at(m.t, std::move(m.fn));
+    // Hop to the window containing the global minimum — one hop over any
+    // run of empty windows — on an integer grid; the guard absorbs
+    // floating-point rounding at exact-boundary timestamps.
     auto k = static_cast<std::uint64_t>(min_next / window_s_);
     double w_end = static_cast<double>(k + 1) * window_s_;
     while (w_end <= min_next) w_end = static_cast<double>(++k + 1) * window_s_;
+    if (shard == 0) {
+      ++windows_executed_;
+      windows_skipped_ += first_window ? k : k - prev_k - 1;
+    }
+    first_window = false;
+    prev_k = k;
     tls_window_end = w_end;
+    tls_parity = (round + 1) & 1;
     eng.run_before(w_end);
     prev_end = w_end;
   }
@@ -170,9 +270,9 @@ void ShardGroup::worker(std::size_t shard) {
 void ShardGroup::run() {
   if (ran_) throw std::logic_error("ShardGroup: a group can only run once");
   ran_ = true;
-  abort_.store(false, std::memory_order_relaxed);
   if (n_shards_ == 1) {
     worker(0);
+    tls_parity = 0;
     return;
   }
   std::vector<std::thread> threads;
@@ -183,7 +283,7 @@ void ShardGroup::run() {
         worker(s);
       } catch (...) {
         errors_[s] = std::current_exception();
-        abort_.store(true, std::memory_order_relaxed);
+        abort_barrier();
       }
     });
   }
@@ -192,6 +292,7 @@ void ShardGroup::run() {
   // journal merging).
   tls_engine = engines_[0].get();
   tls_shard = 0;
+  tls_parity = 0;
   for (auto& e : errors_)
     if (e) std::rethrow_exception(e);
 }

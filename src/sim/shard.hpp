@@ -4,20 +4,32 @@
 // own `sim::Engine` (4-ary heap, SBO callbacks — unchanged) on its own
 // thread.  The partition is expressed through a fixed *domain grid* that is
 // independent of the shard count: the OST range and the rank range are cut
-// into D contiguous spans (D = min(32, n_osts) by default; rank cuts are
-// node-aligned so a node's NIC never straddles domains), and each shard owns
-// a contiguous run of domains.  Everything keyed by the same domain stays on
-// one engine; every cross-domain interaction — network deliveries, OST write
-// hand-offs, fabric-governor broadcasts, protocol completions — travels
-// through single-producer/single-consumer channels and is applied at a
-// window boundary.
+// into D contiguous spans (D = min(32, n_osts) by default, tunable through
+// `n_domains` / AIO_SIM_DOMAINS; rank cuts are node-aligned so a node's NIC
+// never straddles domains), and each shard owns a contiguous run of domains
+// chosen by a deterministic static weight model (ranks + OSTs per domain) so
+// heavy domains do not pile onto one shard.
 //
-// Time advances on a fixed window grid W_k = k * window.  Within a window a
-// shard runs `Engine::run_before(W_end)` — only events strictly inside the
-// window — then all shards meet at a barrier, exchange the messages posted
-// during the window, merge each inbox in canonical (time, source domain,
-// sequence) order, agree on the global minimum next event time, and hop to
-// the window containing it (empty windows are skipped wholesale).  The
+// Couplings quantize by *physical* topology, not by domain: an interaction
+// that stays inside one node (rank→rank on the same node) is scheduled
+// directly on the owning engine, while every interaction that crosses a node
+// or storage-target boundary — network deliveries, OST write hand-offs,
+// fabric-governor broadcasts, protocol completions — travels through the
+// channel plane and is applied at a window boundary, *even when source and
+// destination happen to share a domain or a shard*.  Because the rule never
+// mentions domains, the set of quantized couplings (and therefore every
+// simulated timestamp) is invariant under the domain count as well as the
+// shard count.
+//
+// Time advances on a fixed window grid W_k = k * window.  Each round a shard
+// publishes its horizon — the minimum of its engine's next event time and
+// the due times of the messages it posted during the last window (producer-
+// side accounting: the poster knows each message's boundary-clamped due
+// time, so nothing needs a second rendezvous) — then all shards meet at one
+// sense-reversing barrier, agree on the global minimum, drain their inboxes
+// for this round, merge them in canonical (time, source entity, sequence)
+// order, and hop the window cursor to the window containing the global
+// minimum: runs of empty windows cost one barrier total, not one each.  The
 // window is derived from the minimum network latency (`net::latency_s`):
 // any window >= that lookahead is conservative because a message posted in
 // window k can only be *due* at or after the boundary, where it is applied
@@ -25,16 +37,18 @@
 // granularity for barrier amortization (see DESIGN.md §10); the default is
 // 64 lookaheads.
 //
-// Determinism: because the domain grid, the window grid, and the merge order
-// are all independent of S, the event sequence each domain observes — and
-// therefore every simulated timestamp — is bit-identical at any shard count,
-// including S = 1 (which runs the same window loop inline, no threads).
+// Determinism: because the domain grid, the window grid, the quantization
+// rule, and the merge order are all independent of S (and of the domain
+// count), the event sequence each entity observes — and therefore every
+// simulated timestamp — is bit-identical at any shard count, including
+// S = 1 (which runs the same window loop inline, no threads).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -55,8 +69,8 @@ class ShardGroup {
     std::size_t n_shards = 1;  ///< requested; clamped to [1, n_domains]
     double lookahead_s = 8e-6; ///< conservative bound: min cross-shard latency
     /// Window = lookahead * window_batch.  Must be >= 1; larger values
-    /// amortize the per-window barriers over more events at the cost of
-    /// coarser cross-domain timing quantization.
+    /// amortize the per-window barrier over more events at the cost of
+    /// coarser cross-entity timing quantization.
     double window_batch = 64.0;
     std::size_t n_domains = 0;  ///< 0 = min(kDefaultDomains, n_osts)
     std::size_t n_ranks = 0;    ///< total protocol ranks (> 0)
@@ -74,6 +88,7 @@ class ShardGroup {
   [[nodiscard]] std::size_t n_domains() const { return n_domains_; }
   [[nodiscard]] std::size_t n_ranks() const { return cfg_.n_ranks; }
   [[nodiscard]] std::size_t n_osts() const { return cfg_.n_osts; }
+  [[nodiscard]] std::size_t n_nodes() const { return n_nodes_; }
   [[nodiscard]] double lookahead_s() const { return cfg_.lookahead_s; }
   [[nodiscard]] double window_s() const { return window_s_; }
 
@@ -84,7 +99,7 @@ class ShardGroup {
     return static_cast<std::uint32_t>(((ost + 1) * n_domains_ - 1) / cfg_.n_osts);
   }
   [[nodiscard]] std::size_t shard_of_domain(std::uint32_t domain) const {
-    return ((static_cast<std::size_t>(domain) + 1) * n_shards_ - 1) / n_domains_;
+    return shard_of_domain_[domain];
   }
   [[nodiscard]] Engine& engine_of_rank(std::size_t rank) {
     return engine(shard_of_domain(domain_of_rank(rank)));
@@ -93,16 +108,30 @@ class ShardGroup {
     return engine(shard_of_domain(domain_of_ost(ost)));
   }
 
+  /// Canonical merge keys.  A message's source is a physical *entity* — a
+  /// node (for anything a rank does) or a storage target — numbered so the
+  /// key space is independent of the domain and shard counts: nodes first,
+  /// then OSTs.  An entity lives entirely inside one domain (rank cuts are
+  /// node-aligned; an OST is atomic), so all of a key's messages come from
+  /// one shard and its sequence numbers are monotone.
+  [[nodiscard]] std::uint32_t key_of_rank(std::size_t rank) const {
+    return static_cast<std::uint32_t>(rank / cfg_.ranks_per_node);
+  }
+  [[nodiscard]] std::uint32_t key_of_ost(std::size_t ost) const {
+    return static_cast<std::uint32_t>(n_nodes_ + ost);
+  }
+
   /// Posts `fn` to `dst_shard`, to run at simulated time `t` (clamped up to
   /// the current window boundary — nothing may land inside the window in
-  /// flight).  `src_domain` must be owned by the calling shard; together
-  /// with a per-domain sequence number it forms the canonical merge key.
-  void post(std::uint32_t src_domain, std::size_t dst_shard, Time t, Engine::Callback fn);
+  /// flight).  `src_key` names the posting entity (`key_of_rank` /
+  /// `key_of_ost`), must be owned by the calling shard, and together with a
+  /// per-entity sequence number forms the canonical merge key.
+  void post(std::uint32_t src_key, std::size_t dst_shard, Time t, Engine::Callback fn);
 
   /// Posts `fn` to run exactly at the next window boundary (the canonical
-  /// apply time for zero-delay cross-domain couplings).
-  void post_at_boundary(std::uint32_t src_domain, std::size_t dst_shard, Engine::Callback fn) {
-    post(src_domain, dst_shard, 0.0, std::move(fn));
+  /// apply time for zero-delay cross-entity couplings).
+  void post_at_boundary(std::uint32_t src_key, std::size_t dst_shard, Engine::Callback fn) {
+    post(src_key, dst_shard, 0.0, std::move(fn));
   }
 
   /// Runs the window loop on all shards until no shard holds a normal event
@@ -114,6 +143,12 @@ class ShardGroup {
   /// Total events executed across all shards.
   [[nodiscard]] std::size_t total_steps() const;
 
+  /// Window-loop telemetry (valid after run()): windows actually executed,
+  /// empty grid windows hopped over without a barrier, and barrier rounds.
+  [[nodiscard]] std::uint64_t windows_executed() const { return windows_executed_; }
+  [[nodiscard]] std::uint64_t windows_skipped() const { return windows_skipped_; }
+  [[nodiscard]] std::uint64_t barrier_rounds() const { return rounds_; }
+
   /// Test hook: makes the next multi-message merge swap two entries so the
   /// canonical-order validator must reject it (proves misordered cross-shard
   /// merges cannot pass silently).
@@ -122,38 +157,62 @@ class ShardGroup {
  private:
   struct Msg {
     Time t;
-    std::uint32_t domain;  // source domain: second merge key
-    std::uint64_t seq;     // per-source-domain sequence: third merge key
+    std::uint32_t key;     // source entity: second merge key
+    std::uint64_t seq;     // per-entity sequence: third merge key
     Engine::Callback fn;
   };
-  struct alignas(64) SeqCounter {
-    std::uint64_t v = 0;
-  };
+  // One horizon slot per (round parity, shard): what the shard can reach
+  // next and how much it still owes the system (pending engine events plus
+  // messages it posted last window that no engine has scheduled yet).
   struct alignas(64) Horizon {
     double next_event = 0.0;
-    std::size_t pending_normal = 0;
+    std::size_t pending = 0;
+  };
+  // Producer-side accounting for the window in flight, one padded slot per
+  // shard: the earliest due time and count of messages this shard posted.
+  struct alignas(64) OutAcc {
+    double min_t = std::numeric_limits<double>::infinity();
+    std::size_t count = 0;
+  };
+  // The barrier's two hot words live on their own cache lines; `phase`
+  // packs (generation << 1 | abort) into the single word waiters park on,
+  // so an abort can wake parked threads through the same futex.
+  struct alignas(64) PaddedAtomicU32 {
+    std::atomic<std::uint32_t> v{0};
   };
 
   void worker(std::size_t shard);
-  void drain_and_merge(std::size_t shard, std::vector<Msg>& merged, double prev_window_end);
+  void drain_and_merge(std::size_t shard, std::size_t parity, std::vector<Msg>& merged,
+                       double prev_window_end);
+  bool barrier_wait();  // false = abort observed; leave the loop
+  void abort_barrier();
 
   Config cfg_;
   std::size_t n_shards_ = 1;
   std::size_t n_domains_ = 1;
+  std::size_t n_nodes_ = 1;
   double window_s_ = 0.0;
   std::vector<std::size_t> rank_lo_;  // D+1 node-aligned rank cuts
+  std::vector<std::size_t> shard_of_domain_;   // weight-balanced contiguous cuts
+  std::vector<std::uint32_t> domain_of_key_;   // entity -> owning domain
   std::vector<std::unique_ptr<Engine>> engines_;
-  std::vector<std::vector<Msg>> channels_;  // [src_shard * S + dst_shard]
-  std::vector<SeqCounter> seq_;             // one per domain
-  std::vector<Horizon> horizon_;            // one per shard
-  std::atomic<std::size_t> barrier_count_{0};
-  std::atomic<std::size_t> barrier_gen_{0};
-  std::atomic<bool> abort_{false};
+  // Channels are double-buffered by round parity: round r drains buf[r & 1]
+  // while the window that follows posts into buf[(r + 1) & 1].  The single
+  // barrier separates a round's producers from its consumers (a producer
+  // cannot re-enter parity p before every consumer of p has drained and
+  // arrived), so no lock is needed anywhere on the message path.
+  std::vector<std::vector<Msg>> channels_[2];  // [parity][src_shard * S + dst]
+  std::vector<std::uint64_t> seq_;             // one per entity key
+  std::vector<Horizon> horizon_;               // [parity * S + shard]
+  std::vector<OutAcc> out_;                    // one per shard
+  PaddedAtomicU32 barrier_phase_;              // generation << 1 | abort bit
+  PaddedAtomicU32 barrier_count_;
   std::atomic<bool> corrupt_{false};
   std::vector<std::exception_ptr> errors_;
+  std::uint64_t windows_executed_ = 0;  // written by shard 0 only
+  std::uint64_t windows_skipped_ = 0;
+  std::uint64_t rounds_ = 0;
   bool ran_ = false;
-
-  bool barrier_wait();  // false = abort observed; leave the loop
 };
 
 }  // namespace aio::sim
