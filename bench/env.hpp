@@ -143,6 +143,65 @@ inline void warn_domains_exceed_osts(std::size_t domains, std::size_t n_osts) {
                domains, n_osts, n_osts);
 }
 
+/// Metadata-server count from `AIO_MDS_COUNT`: a positive integer, 1 (the
+/// single-server model, byte-identical to pre-tier builds) when unset.
+/// Same strictness as AIO_SIM_DOMAINS: malformed values are rejected with a
+/// one-line stderr warning (once per process) and the default is used.
+inline std::size_t mds_count() {
+  const char* v = std::getenv("AIO_MDS_COUNT");
+  if (!v || !*v) return 1;
+  static bool warned = false;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || parsed <= 0) {
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr, "bench: ignoring AIO_MDS_COUNT=\"%s\" (want a positive integer)\n",
+                   v);
+    }
+    return 1;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Client-side metadata batch size from `AIO_MDS_BATCH`: a non-negative
+/// integer; 0 (the default) keeps the legacy one-request-per-file path.
+inline std::size_t mds_batch() {
+  const char* v = std::getenv("AIO_MDS_BATCH");
+  if (!v || !*v) return 0;
+  static bool warned = false;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || parsed < 0) {
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "bench: ignoring AIO_MDS_BATCH=\"%s\" (want a non-negative integer; "
+                   "0 disables batching)\n",
+                   v);
+    }
+    return 0;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Hot-directory absorption proxy toggle from `AIO_MDS_PROXY`: 0 (default)
+/// or 1.  Anything else is rejected with a one-line stderr warning.
+inline bool mds_proxy() {
+  const char* v = std::getenv("AIO_MDS_PROXY");
+  if (!v || !*v) return false;
+  if (v[0] == '0' && v[1] == '\0') return false;
+  if (v[0] == '1' && v[1] == '\0') return true;
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr, "bench: ignoring AIO_MDS_PROXY=\"%s\" (want 0 or 1)\n", v);
+  }
+  return false;
+}
+
 /// Window-batch policy from `AIO_SIM_WINDOW_BATCH`: either a fixed
 /// multiplier (>= 1, possibly fractional) or the literal `auto`, which asks
 /// the bench to hill-climb the value across samples under wall-clock

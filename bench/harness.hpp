@@ -31,6 +31,8 @@
 //   AIO_FLIGHT           flight recorder: bounded journal ring dumped to this
 //                        path on watchdog abort (readable by tools/aio_report)
 //   AIO_FLIGHT_RECORDS   flight-recorder ring capacity (default 65536)
+//   AIO_MDS_COUNT        metadata servers in the tier (default: the spec's
+//                        n_mds, i.e. 1; parsing in bench/env.hpp)
 #pragma once
 
 #include <atomic>
@@ -98,9 +100,17 @@ struct Machine {
   /// writes `<path>.k+1`.  The default (-1) falls back to first-come
   /// numbering — fine serially, nondeterministic under AIO_BENCH_THREADS>1,
   /// so benches that run machines in parallel pass their unit index.
+  /// AIO_MDS_COUNT widens the metadata tier of any bench machine; the
+  /// override applies only when the variable is set, so specs keep their
+  /// own n_mds (and every default stdout stays byte-identical) otherwise.
+  static fs::MachineSpec apply_env(fs::MachineSpec s) {
+    if (std::getenv("AIO_MDS_COUNT") != nullptr) s.fs.n_mds = mds_count();
+    return s;
+  }
+
   Machine(fs::MachineSpec machine_spec, std::uint64_t seed, bool with_load,
           std::size_t min_ranks = 0, int obs_slot = -1)
-      : spec(std::move(machine_spec)),
+      : spec(apply_env(std::move(machine_spec))),
         trace(obs::TraceSink::from_env(obs_slot)),
         metrics(metrics_from_env()),
         journal(obs::Journal::from_env(obs_slot)),

@@ -263,6 +263,52 @@ void AdaptiveRun::begin(const IoJob& job) {
   }
   opens_remaining = g + 1;
   auto self = shared_from_this();
+  const double gap = cfg.open_mode == OpenMode::Staggered ? cfg.stagger_gap_s : 0.0;
+  if (cfg.open_batch > 0) {
+    // Batched client path: the files themselves are bookkeeping (created
+    // immediately); the metadata traffic is one batched OPEN per chunk of
+    // `open_batch` files per server, walked in global file order so that
+    // open_batch == 1 reproduces the per-file path's submission sequence
+    // request-for-request.  Staggered mode launches each chunk at the gap
+    // slot of its first file.
+    for (std::size_t f = 0; f <= g; ++f) {
+      const std::string path = f == g ? base + ".midx" : base + "." + std::to_string(f);
+      const std::size_t ost = f == g ? cfg.first_ost % fs.n_osts() : ost_of_file(f);
+      fs::StripedFile& file = fs.open_immediate(path, 1, ost);
+      if (f == g) {
+        master = &file;
+      } else {
+        files[f] = &file;
+      }
+    }
+    fs::MdsGroup& tier = fs.mds_group();
+    std::vector<std::size_t> chunk_items(tier.count(), 0);
+    std::vector<std::size_t> chunk_first(tier.count(), 0);  // global file index
+    auto flush_chunk = [&](std::size_t m) {
+      if (chunk_items[m] == 0) return;
+      const std::size_t k = chunk_items[m];
+      chunk_items[m] = 0;
+      fs.engine().schedule_after(
+          gap * static_cast<double>(chunk_first[m]), [self, m, k] {
+            self->fs.mds_group().submit_batch(
+                m, fs::MetadataServer::OpKind::Open, k, [self, k](sim::Time) {
+                  self->opens_remaining -= k;
+                  if (self->opens_remaining == 0) {
+                    self->result.t_open_done = self->fs.engine().now();
+                    self->start_protocol();
+                  }
+                });
+          });
+    };
+    for (std::size_t f = 0; f <= g; ++f) {
+      fs::StripedFile& file = f == g ? *master : *files[f];
+      const std::size_t m = tier.index_of(file.path());
+      if (chunk_items[m] == 0) chunk_first[m] = f;
+      if (++chunk_items[m] >= cfg.open_batch) flush_chunk(m);
+    }
+    for (std::size_t m = 0; m < tier.count(); ++m) flush_chunk(m);
+    return;
+  }
   auto opened = [self](std::size_t slot, fs::StripedFile& file) {
     if (slot == self->topo.n_groups()) {
       self->master = &file;
@@ -274,7 +320,6 @@ void AdaptiveRun::begin(const IoJob& job) {
       self->start_protocol();
     }
   };
-  const double gap = cfg.open_mode == OpenMode::Staggered ? cfg.stagger_gap_s : 0.0;
   for (std::size_t f = 0; f <= g; ++f) {
     const std::string path = f == g ? base + ".midx" : base + "." + std::to_string(f);
     const std::size_t ost = f == g ? cfg.first_ost % fs.n_osts() : ost_of_file(f);
@@ -577,6 +622,39 @@ void AdaptiveRun::all_roles_done() {
   auto closed = [self](sim::Time now) {
     if (--self->closes_remaining == 0) self->finish(now);
   };
+  if (shards) {
+    // all_roles_done executes on the coordinator's home shard (the role
+    // tally lives there), so the coordinator's node is the entity issuing
+    // the closes; a metadata server may be homed on any shard, so the
+    // request and its completion ride the channel plane.
+    const std::uint32_t ckey =
+        shards->key_of_rank(static_cast<std::size_t>(Topology::coordinator_rank()));
+    for (fs::StripedFile* file : files) fs.close_from(ckey, *file, closed);
+    fs.close_from(ckey, *master, closed);
+    return;
+  }
+  if (cfg.open_batch > 0) {
+    // Mirror the batched opens: one batched CLOSE per chunk of `open_batch`
+    // files per server, in global file order.
+    fs::MdsGroup& tier = fs.mds_group();
+    std::vector<std::size_t> chunk_items(tier.count(), 0);
+    auto flush_chunk = [&](std::size_t m) {
+      if (chunk_items[m] == 0) return;
+      const std::size_t k = chunk_items[m];
+      chunk_items[m] = 0;
+      tier.submit_batch(m, fs::MetadataServer::OpKind::Close, k, [self, k](sim::Time now) {
+        self->closes_remaining -= k;
+        if (self->closes_remaining == 0) self->finish(now);
+      });
+    };
+    for (std::size_t f = 0; f <= files.size(); ++f) {
+      fs::StripedFile& file = f == files.size() ? *master : *files[f];
+      const std::size_t m = tier.index_of(file.path());
+      if (++chunk_items[m] >= cfg.open_batch) flush_chunk(m);
+    }
+    for (std::size_t m = 0; m < tier.count(); ++m) flush_chunk(m);
+    return;
+  }
   for (fs::StripedFile* file : files) fs.close(*file, closed);
   fs.close(*master, closed);
 }

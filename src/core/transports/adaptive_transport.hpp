@@ -39,6 +39,15 @@ class AdaptiveTransport final : public Transport {
     enum class OpenMode { Skip, Storm, Staggered };
     OpenMode open_mode = OpenMode::Skip;
     double stagger_gap_s = 0.002;
+    /// Client-side metadata batching (classic engines): 0 submits one MDS
+    /// request per file (the legacy path, byte-identical to pre-batching
+    /// builds); B >= 1 groups the per-SC creates into batched requests of up
+    /// to B files per metadata server, amortizing the per-request fixed cost
+    /// (`open_base_s`) across the span.  B == 1 reproduces the per-file
+    /// path's submission sequence request-for-request.  Closes batch the
+    /// same way.  Sharded runs ignore this knob (opens are skipped there and
+    /// closes ride the channel plane per file).
+    std::size_t open_batch = 0;
     bool close_via_mds = true;
     /// When false, the coordinator streams the global merge (running totals
     /// only) and IoResult::global_index stays null — peak index memory drops

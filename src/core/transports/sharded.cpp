@@ -23,6 +23,7 @@ sim::ShardGroup::Config shard_config(const ShardedAdaptiveSim::Config& c) {
   sc.n_ranks = c.n_ranks;
   sc.ranks_per_node = c.net.cores_per_node;
   sc.n_osts = c.fs.n_osts;
+  sc.n_mds = c.fs.n_mds != 0 ? c.fs.n_mds : 1;
   return sc;
 }
 

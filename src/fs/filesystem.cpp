@@ -130,7 +130,10 @@ void StripedFile::flush(OnComplete on_complete) {
 }
 
 FileSystem::FileSystem(sim::Engine& engine, FsConfig config)
-    : engine_(engine), config_(config), mds_(engine, config.mds), fabric_(config.fabric_bw) {
+    : engine_(engine),
+      config_(config),
+      mds_(engine, MdsGroup::Config{config.n_mds, config.mds}),
+      fabric_(config.fabric_bw) {
   if (config_.n_osts == 0) throw std::invalid_argument("FileSystem: need at least one OST");
   osts_.reserve(config_.n_osts);
   for (std::size_t i = 0; i < config_.n_osts; ++i) {
@@ -143,7 +146,7 @@ FileSystem::FileSystem(sim::ShardGroup& shards, FsConfig config)
     : engine_(shards.engine(0)),
       config_(config),
       shards_(&shards),
-      mds_(shards.engine(0), config.mds),
+      mds_(shards, MdsGroup::Config{config.n_mds, config.mds}),
       fabric_(config.fabric_bw) {
   if (config_.n_osts == 0) throw std::invalid_argument("FileSystem: need at least one OST");
   if (config_.n_osts != shards.n_osts())
@@ -199,7 +202,7 @@ StripedFile& FileSystem::make_file(std::string path, std::size_t stripe_count,
 void FileSystem::open(std::string path, std::size_t stripe_count, std::size_t first_ost,
                       OpenCallback on_open, double stripe_size) {
   StripedFile& file = make_file(std::move(path), stripe_count, first_ost, stripe_size);
-  mds_.submit(MetadataServer::OpKind::Open,
+  mds_.submit(mds_.index_of(file.path()), MetadataServer::OpKind::Open,
               [&file, on_open = std::move(on_open)](sim::Time now) mutable {
                 if (on_open) on_open(file, now);
               });
@@ -211,8 +214,13 @@ StripedFile& FileSystem::open_immediate(std::string path, std::size_t stripe_cou
 }
 
 void FileSystem::close(StripedFile& file, OnComplete on_complete) {
-  (void)file;
-  mds_.submit(MetadataServer::OpKind::Close, std::move(on_complete));
+  mds_.submit(mds_.index_of(file.path()), MetadataServer::OpKind::Close,
+              std::move(on_complete));
+}
+
+void FileSystem::close_from(std::uint32_t src_key, StripedFile& file, OnComplete on_complete) {
+  mds_.submit_from(src_key, mds_.index_of(file.path()), MetadataServer::OpKind::Close,
+                   std::move(on_complete));
 }
 
 void FileSystem::register_probes(obs::Sampler& sampler, std::size_t per_ost_limit) {
@@ -261,6 +269,16 @@ void FileSystem::register_probes(obs::Sampler& sampler, std::size_t per_ost_limi
   sampler.add_probe(
       "mds.backlog", [this](double) { return static_cast<double>(mds_.backlog()); },
       obs::kPidMds);
+  if (mds_.count() > 1) {
+    // Per-server depth only when there is a tier to tell apart — the
+    // aggregate above keeps its name (and series set) for single-MDS runs.
+    for (std::size_t m = 0; m < mds_.count(); ++m) {
+      MetadataServer* srv = &mds_.server(m);
+      sampler.add_probe("mds" + std::to_string(m) + ".backlog",
+                        [srv](double) { return static_cast<double>(srv->backlog()); },
+                        obs::kPidMds);
+    }
+  }
 }
 
 double FileSystem::total_bytes_submitted() const {

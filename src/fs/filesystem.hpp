@@ -1,8 +1,9 @@
-// Parallel file system: OSTs + metadata server + fabric + striped files.
+// Parallel file system: OSTs + metadata tier + fabric + striped files.
 //
 // Mirrors the structure of the Lustre scratch systems in the paper: a file
-// is striped round-robin over a subset of the storage targets, a single
-// metadata server brokers opens/closes, and the storage fabric caps the
+// is striped round-robin over a subset of the storage targets, a metadata
+// tier (one server by default, `n_mds` for DNE-style scale-out — see
+// fs/mds_group.hpp) brokers opens/closes, and the storage fabric caps the
 // aggregate bandwidth.  The Lustre 1.6 limit the paper works around — at
 // most 160 storage targets for a single file — is enforced here and is what
 // handicaps the shared-file MPI-IO baseline.
@@ -17,6 +18,7 @@
 
 #include "fs/fabric.hpp"
 #include "fs/mds.hpp"
+#include "fs/mds_group.hpp"
 #include "fs/ost.hpp"
 #include "sim/engine.hpp"
 #include "sim/shard.hpp"
@@ -32,6 +34,7 @@ struct FsConfig {
   Ost::Config ost;
   double fabric_bw = 75e9;        ///< aggregate storage-network cap; 0 = none
   MetadataServer::Config mds;
+  std::size_t n_mds = 1;          ///< metadata servers (DNE-style tier)
   std::size_t stripe_limit = 160; ///< max OSTs for a single file (Lustre 1.6)
   double default_stripe_size = 4.0 * (1 << 20);
 };
@@ -102,11 +105,13 @@ class FileSystem {
   FileSystem(sim::Engine& engine, FsConfig config);
 
   /// Sharded construction: OST `i` is homed on the engine of the shard that
-  /// owns its domain, the metadata server stays on shard 0 (callers on other
-  /// shards reach it through the channel plane), and the fabric governor is
+  /// owns its domain, metadata server `i` is homed by the shard group's MDS
+  /// span rule (callers on other shards reach it through the channel plane
+  /// via close_from / MdsGroup::submit_from), and the fabric governor is
   /// replicated per shard — every replica consumes the same globally merged
   /// activity stream at window boundaries, so all replicas agree bit-exactly
-  /// and each touches only shard-local OSTs.
+  /// and each touches only shard-local OSTs.  The shard group must have been
+  /// built with a matching `n_mds`.
   FileSystem(sim::ShardGroup& shards, FsConfig config);
 
   /// Shard group this file system is homed on; null for classic runs.
@@ -116,7 +121,10 @@ class FileSystem {
   [[nodiscard]] const FsConfig& config() const { return config_; }
   [[nodiscard]] std::size_t n_osts() const { return osts_.size(); }
   [[nodiscard]] Ost& ost(std::size_t i) { return *osts_.at(i); }
-  [[nodiscard]] MetadataServer& mds() { return mds_; }
+  /// First metadata server — the whole tier when `n_mds == 1` (the classic
+  /// single-MDS model and every pre-tier caller's expectation).
+  [[nodiscard]] MetadataServer& mds() { return mds_.server(0); }
+  [[nodiscard]] MdsGroup& mds_group() { return mds_; }
   [[nodiscard]] FabricGovernor& fabric() { return fabric_; }
   [[nodiscard]] std::vector<Ost*> ost_pointers();
 
@@ -132,8 +140,13 @@ class FileSystem {
   StripedFile& open_immediate(std::string path, std::size_t stripe_count, std::size_t first_ost,
                               double stripe_size = 0.0);
 
-  /// Closes a file through the metadata server.
+  /// Closes a file through the metadata tier (the server owning its path).
   void close(StripedFile& file, OnComplete on_complete);
+
+  /// Sharded close from the entity with merge key `src_key`: the request and
+  /// its completion ride the channel plane (MdsGroup::submit_from), so any
+  /// shard may close any file.  Classic runs degenerate to close().
+  void close_from(std::uint32_t src_key, StripedFile& file, OnComplete on_complete);
 
   /// Total bytes accepted by all OSTs (conservation checks in tests).
   [[nodiscard]] double total_bytes_submitted() const;
@@ -153,7 +166,7 @@ class FileSystem {
   FsConfig config_;
   sim::ShardGroup* shards_ = nullptr;
   std::vector<std::unique_ptr<Ost>> osts_;
-  MetadataServer mds_;
+  MdsGroup mds_;
   FabricGovernor fabric_;
   std::vector<FabricGovernor> fabric_replicas_;  // one per shard (sharded runs)
   std::vector<std::unique_ptr<StripedFile>> files_;

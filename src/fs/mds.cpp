@@ -16,13 +16,14 @@ const char* op_name(MetadataServer::OpKind kind) {
     case MetadataServer::OpKind::Open: return "mds.open";
     case MetadataServer::OpKind::Close: return "mds.close";
     case MetadataServer::OpKind::Stat: return "mds.stat";
+    case MetadataServer::OpKind::Create: return "mds.create";
   }
   return "mds.op";
 }
 }  // namespace
 
-void MetadataServer::submit(OpKind kind, OnComplete on_complete) {
-  queue_.push_back(Request{kind, std::move(on_complete)});
+void MetadataServer::enqueue(OpKind kind, std::uint32_t items, OnComplete on_complete) {
+  queue_.push_back(Request{kind, std::move(on_complete), items});
   peak_backlog_ = std::max(peak_backlog_, backlog());
   if (auto* trace = engine_.trace(); trace && trace->wants(obs::kCatMds)) {
     // The backlog track makes an open storm directly visible: every rank's
@@ -41,10 +42,12 @@ void MetadataServer::dispatch() {
   busy_ = true;
   in_service_ = std::move(queue_.front());
   queue_.pop_front();
-  const double service = base_time(in_service_.kind) *
-                         (1.0 + config_.queue_penalty * static_cast<double>(queue_.size()));
+  const double service =
+      base_time(in_service_.kind) *
+          (1.0 + config_.queue_penalty * static_cast<double>(queue_.size())) +
+      static_cast<double>(in_service_.items - 1) * config_.batch_item_s;
   if (auto* trace = engine_.trace(); trace && trace->wants(obs::kCatMds)) {
-    trace->begin(obs::kCatMds, obs::kPidMds, 0, engine_.now(), op_name(in_service_.kind),
+    trace->begin(obs::kCatMds, obs::kPidMds, index_, engine_.now(), op_name(in_service_.kind),
                  {{"queued_behind", obs::Json(static_cast<double>(queue_.size()))},
                   {"service_s", obs::Json(service)}});
   }
@@ -52,8 +55,10 @@ void MetadataServer::dispatch() {
     obs::Record r;
     r.kind = obs::Rec::kMdsOp;
     r.t = engine_.now();
+    r.id = index_;
     r.a = static_cast<std::uint8_t>(in_service_.kind);
     r.u0 = static_cast<std::uint32_t>(queue_.size());
+    r.u1 = in_service_.items - 1;  // 0 for plain submits, as before the batch op
     r.v0 = service;
     if (auto* journal = engine_.journal()) journal->append(r);
     if (auto* live = engine_.live()) live->ingest(r);
@@ -66,8 +71,9 @@ void MetadataServer::dispatch() {
 
 void MetadataServer::complete_in_service() {
   ++completed_;
+  completed_items_ += in_service_.items;
   if (auto* trace = engine_.trace(); trace && trace->wants(obs::kCatMds))
-    trace->end(obs::kCatMds, obs::kPidMds, 0, engine_.now());
+    trace->end(obs::kCatMds, obs::kPidMds, index_, engine_.now());
   if (auto* reg = engine_.metrics()) reg->counter("mds.ops").add();
   // Move the finished request out before dispatching the next one (which
   // reuses the `in_service_` slot), and dispatch before running the callback

@@ -125,6 +125,17 @@ Json analyze(const Journal& journal) {
   RunData* cur = nullptr;  // run-scoped records attach to the last kRunBegin
   std::map<std::uint32_t, std::vector<OstSeg>> ost_timeline;
 
+  // Global, not run-scoped (like the OST timeline): every metadata dispatch
+  // attributes to its server, whether or not a run is in flight — a bench
+  // driving the tier directly still gets a per-MDS table.
+  struct MdsAgg {
+    std::uint64_t ops = 0;    // requests dispatched (a batch counts once)
+    std::uint64_t items = 0;  // operations carried (a batch counts its size)
+    double service_s = 0.0;
+    std::uint32_t peak_queue = 0;  // deepest backlog behind a dispatch
+  };
+  std::map<std::uint32_t, MdsAgg> mds_servers;
+
   for (const Record& r : journal.records()) {
     switch (r.kind) {
       case Rec::kRunBegin: {
@@ -176,12 +187,18 @@ Json analyze(const Journal& journal) {
         // Global, not run-scoped: the fluid state persists across runs.
         ost_timeline[r.id].push_back(OstSeg{r.t, std::max(r.v1, r.v2)});
         break;
-      case Rec::kMdsOp:
+      case Rec::kMdsOp: {
         if (cur) {
           ++cur->mds_ops;
           cur->mds_service_s += r.v0;
         }
+        MdsAgg& m = mds_servers[r.id];
+        ++m.ops;
+        m.items += 1 + static_cast<std::uint64_t>(r.u1);
+        m.service_s += r.v0;
+        m.peak_queue = std::max(m.peak_queue, r.u0);
         break;
+      }
       case Rec::kStealGrant:
         if (cur) {
           StealInfo& s = cur->steal_chains[r.id];
@@ -342,6 +359,18 @@ Json analyze(const Journal& journal) {
   summary.set("grants", grants_total);
   summary.set("mds_ops", static_cast<double>(mds_ops_total));
   summary.set("mds_service_s", mds_service_total);
+  if (!mds_servers.empty()) {
+    Json tier = Json::object();
+    for (const auto& [idx, m] : mds_servers) {
+      Json mj = Json::object();
+      mj.set("ops", static_cast<double>(m.ops));
+      mj.set("items", static_cast<double>(m.items));
+      mj.set("service_s", m.service_s);
+      mj.set("peak_queue", static_cast<double>(m.peak_queue));
+      tier.set("mds" + std::to_string(idx), std::move(mj));
+    }
+    summary.set("mds_servers", std::move(tier));
+  }
   summary.set("run_time", stat_block(run_time, run_hist));
   summary.set("writer_time", stat_block(writer_time, writer_hist));
 

@@ -62,7 +62,8 @@ enum class Mark : std::uint8_t {
 ///   kWriterEnd     id=writer u0=file
 ///   kOstState      id=ost  u0=m_dirty a=cache_full
 ///                  v0=efficiency v1=net_load v2=disk_load
-///   kMdsOp         a=op kind u0=backlog_behind v0=service_s
+///   kMdsOp         id=mds a=op kind u0=backlog_behind u1=batched_behind
+///                  v0=service_s
 ///   kStealGrant    id=grant_seq u0=source_group u1=target_file
 ///                  v0=offset v1=source_queue_depth
 ///   kStealComplete id=grant_seq u0=source_group u1=target_file u2=writer

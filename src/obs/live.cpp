@@ -188,10 +188,17 @@ void LivePlane::ingest(const Record& r) {
       o.m_dirty = r.u0;
       break;
     }
-    case Rec::kMdsOp:
+    case Rec::kMdsOp: {
       ++mds_ops_;
       mds_service_s_ += r.v0;
+      if (r.id >= mds_servers_.size()) mds_servers_.resize(static_cast<std::size_t>(r.id) + 1);
+      LiveMds& m = mds_servers_[r.id];
+      ++m.ops;
+      m.items += 1 + static_cast<std::uint64_t>(r.u1);
+      m.service_s += r.v0;
+      m.peak_queue = std::max(m.peak_queue, r.u0);
       break;
+    }
     case Rec::kStealGrant: {
       if (r.id >= grants_.size()) grants_.resize(static_cast<std::size_t>(r.id) + 1);
       GrantSlot& g = grants_[r.id];
@@ -387,6 +394,21 @@ Json LivePlane::snapshot_json(double now, bool final) const {
   Json mds = Json::object();
   mds.set("ops", static_cast<double>(mds_ops_));
   mds.set("service_s", mds_service_s_);
+  if (mds_servers_.size() > 1) {
+    // A real tier: break the same totals out per server so a live consumer
+    // can see placement skew as it develops.
+    Json servers = Json::object();
+    for (std::size_t i = 0; i < mds_servers_.size(); ++i) {
+      const LiveMds& m = mds_servers_[i];
+      Json mj = Json::object();
+      mj.set("ops", static_cast<double>(m.ops));
+      mj.set("items", static_cast<double>(m.items));
+      mj.set("service_s", m.service_s);
+      mj.set("peak_queue", static_cast<double>(m.peak_queue));
+      servers.set("mds" + std::to_string(i), std::move(mj));
+    }
+    mds.set("servers", std::move(servers));
+  }
   row.set("mds", std::move(mds));
   Json stragglers = Json::array();
   for (const LiveOst& o : v.stragglers) {

@@ -257,6 +257,15 @@ class LivePlane {
   LiveSteals steals_;
   std::uint64_t mds_ops_ = 0;
   double mds_service_s_ = 0.0;
+  // Per-server attribution of the same stream, indexed by the record's MDS
+  // id; single-server runs keep one slot and the snapshot stays flat.
+  struct LiveMds {
+    std::uint64_t ops = 0;
+    std::uint64_t items = 0;
+    double service_s = 0.0;
+    std::uint32_t peak_queue = 0;
+  };
+  std::vector<LiveMds> mds_servers_;
 
   std::vector<Record> flight_;
   std::size_t flight_next_ = 0;

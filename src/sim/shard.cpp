@@ -56,6 +56,7 @@ ShardGroup::ShardGroup(Config config) : cfg_(config) {
   if (n_domains_ == 0) n_domains_ = 1;
   n_shards_ = std::clamp<std::size_t>(cfg_.n_shards, 1, n_domains_);
   n_nodes_ = (cfg_.n_ranks + cfg_.ranks_per_node - 1) / cfg_.ranks_per_node;
+  n_mds_ = cfg_.n_mds != 0 ? cfg_.n_mds : 1;
   window_s_ = cfg_.lookahead_s * cfg_.window_batch;
 
   // Node-aligned rank cuts: round each balanced cut down to a node boundary
@@ -93,12 +94,15 @@ ShardGroup::ShardGroup(Config config) : cfg_(config) {
     }
   }
 
-  // Entity keys: nodes first, then OSTs (see key_of_rank / key_of_ost).
-  domain_of_key_.resize(n_nodes_ + cfg_.n_osts);
+  // Entity keys: nodes first, then OSTs, then metadata servers (see
+  // key_of_rank / key_of_ost / key_of_mds).
+  domain_of_key_.resize(n_nodes_ + cfg_.n_osts + n_mds_);
   for (std::size_t n = 0; n < n_nodes_; ++n)
     domain_of_key_[n] = domain_of_rank(n * cfg_.ranks_per_node);
   for (std::size_t o = 0; o < cfg_.n_osts; ++o)
     domain_of_key_[n_nodes_ + o] = domain_of_ost(o);
+  for (std::size_t m = 0; m < n_mds_; ++m)
+    domain_of_key_[n_nodes_ + cfg_.n_osts + m] = domain_of_mds(m);
 
   engines_.reserve(n_shards_);
   for (std::size_t i = 0; i < n_shards_; ++i) engines_.push_back(std::make_unique<Engine>());

@@ -76,6 +76,13 @@ class ShardGroup {
     std::size_t n_ranks = 0;    ///< total protocol ranks (> 0)
     std::size_t ranks_per_node = 1;  ///< NIC granularity for rank cuts
     std::size_t n_osts = 0;     ///< total storage targets (> 0)
+    /// Metadata servers homed on the grid (>= 1).  Each MDS is its own
+    /// entity: it owns a merge key after the nodes and OSTs and is homed on
+    /// a domain by the same span rule that places OSTs, so a multi-MDS tier
+    /// spreads over the shards.  Placement never affects timing — every
+    /// rank→MDS coupling crosses the compute/metadata boundary and rides
+    /// the channel plane regardless of domain layout.
+    std::size_t n_mds = 1;
   };
   static constexpr std::size_t kDefaultDomains = 32;
 
@@ -89,6 +96,7 @@ class ShardGroup {
   [[nodiscard]] std::size_t n_ranks() const { return cfg_.n_ranks; }
   [[nodiscard]] std::size_t n_osts() const { return cfg_.n_osts; }
   [[nodiscard]] std::size_t n_nodes() const { return n_nodes_; }
+  [[nodiscard]] std::size_t n_mds() const { return n_mds_; }
   [[nodiscard]] double lookahead_s() const { return cfg_.lookahead_s; }
   [[nodiscard]] double window_s() const { return window_s_; }
 
@@ -107,18 +115,28 @@ class ShardGroup {
   [[nodiscard]] Engine& engine_of_ost(std::size_t ost) {
     return engine(shard_of_domain(domain_of_ost(ost)));
   }
+  [[nodiscard]] std::uint32_t domain_of_mds(std::size_t mds) const {
+    return static_cast<std::uint32_t>(((mds + 1) * n_domains_ - 1) / n_mds_);
+  }
+  [[nodiscard]] Engine& engine_of_mds(std::size_t mds) {
+    return engine(shard_of_domain(domain_of_mds(mds)));
+  }
 
   /// Canonical merge keys.  A message's source is a physical *entity* — a
-  /// node (for anything a rank does) or a storage target — numbered so the
-  /// key space is independent of the domain and shard counts: nodes first,
-  /// then OSTs.  An entity lives entirely inside one domain (rank cuts are
-  /// node-aligned; an OST is atomic), so all of a key's messages come from
-  /// one shard and its sequence numbers are monotone.
+  /// node (for anything a rank does), a storage target, or a metadata
+  /// server — numbered so the key space is independent of the domain and
+  /// shard counts: nodes first, then OSTs, then metadata servers.  An
+  /// entity lives entirely inside one domain (rank cuts are node-aligned;
+  /// an OST or MDS is atomic), so all of a key's messages come from one
+  /// shard and its sequence numbers are monotone.
   [[nodiscard]] std::uint32_t key_of_rank(std::size_t rank) const {
     return static_cast<std::uint32_t>(rank / cfg_.ranks_per_node);
   }
   [[nodiscard]] std::uint32_t key_of_ost(std::size_t ost) const {
     return static_cast<std::uint32_t>(n_nodes_ + ost);
+  }
+  [[nodiscard]] std::uint32_t key_of_mds(std::size_t mds) const {
+    return static_cast<std::uint32_t>(n_nodes_ + cfg_.n_osts + mds);
   }
 
   /// Posts `fn` to `dst_shard`, to run at simulated time `t` (clamped up to
@@ -191,6 +209,7 @@ class ShardGroup {
   std::size_t n_shards_ = 1;
   std::size_t n_domains_ = 1;
   std::size_t n_nodes_ = 1;
+  std::size_t n_mds_ = 1;
   double window_s_ = 0.0;
   std::vector<std::size_t> rank_lo_;  // D+1 node-aligned rank cuts
   std::vector<std::size_t> shard_of_domain_;   // weight-balanced contiguous cuts

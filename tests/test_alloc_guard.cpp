@@ -31,6 +31,7 @@
 #include "core/transports/adaptive_transport.hpp"
 #include "core/transports/layout.hpp"
 #include "fs/filesystem.hpp"
+#include "fs/mds_group.hpp"
 #include "fs/ost.hpp"
 #include "net/network.hpp"
 #include "obs/journal.hpp"
@@ -353,6 +354,78 @@ TEST(AllocGuard, AdaptiveRunSetupAllocsScaleLinearly) {
   const std::size_t per_writer = (a2 - a1) / (n2 - n1);
   EXPECT_LE(per_writer, 4u) << "adaptive begin() allocates " << per_writer
                             << " times per writer (a1=" << a1 << ", a2=" << a2 << ")";
+}
+
+// --- metadata tier -----------------------------------------------------------
+
+// A journaled create storm through the metadata server.  The service events
+// themselves are allocation-free (the in-service request is a member, so the
+// event closure is a this-pointer), but the FIFO queue is a deque whose
+// chunk churn amortizes to well under one allocation per queued request —
+// budget it so a widened closure (SBO spill) or a per-op allocation shows up
+// as a multiple, not a rounding error.
+TEST(AllocGuard, MdsCreateStormStaysWithinQueueChunkBudget) {
+  obs::Journal journal({/*path=*/"", /*max_records=*/1u << 16});
+  journal.reserve(1u << 16);
+  sim::Engine engine(nullptr, nullptr, &journal);
+  fs::MetadataServer mds(engine, fs::MetadataServer::Config{});
+  const auto burst = [&] {
+    for (int i = 0; i < 256; ++i)
+      mds.submit(fs::MetadataServer::OpKind::Create, [](sim::Time) {});
+    engine.run();
+  };
+  burst();  // warm-up: engine slots, journal capacity, deque spine
+
+  AllocGuard guard;
+  guard.start();
+  burst();
+  const std::size_t allocs = guard.stop();
+  EXPECT_LE(allocs, 96u) << "MDS storm allocated " << allocs
+                         << " times for 256 creates (queue chunk churn only)";
+}
+
+// Batching shrinks the queue itself: the same 256 creates as 4-item batches
+// must allocate several times less than the per-file storm above.
+TEST(AllocGuard, BatchedMdsStormAllocatesLessThanPerFile) {
+  sim::Engine engine;
+  fs::MetadataServer mds(engine, fs::MetadataServer::Config{});
+  const auto storm = [&](std::size_t items) {
+    for (std::size_t i = 0; i < 256 / items; ++i)
+      mds.submit_batch(fs::MetadataServer::OpKind::Create, items, [](sim::Time) {});
+    engine.run();
+  };
+  storm(1);  // warm-up
+  AllocGuard guard;
+  guard.start();
+  storm(1);
+  const std::size_t perfile = guard.stop();
+  guard.start();
+  storm(4);
+  const std::size_t batched = guard.stop();
+  EXPECT_LE(batched * 2, perfile)
+      << "batched storm allocated " << batched << " vs per-file " << perfile;
+}
+
+// The absorption proxy's steady state recycles its callback vectors: once
+// the pool is warm, a 128-create burst is two flush cycles whose only
+// allocator traffic is deque chunk stepping (server queue + in-flight ring)
+// — a handful of allocations, not one per create.
+TEST(AllocGuard, MdsProxySteadyStateRecyclesItsBatches) {
+  sim::Engine engine;
+  fs::MdsGroup group(engine, fs::MdsGroup::Config{});
+  fs::MdsProxy proxy(group, 0, fs::MdsProxy::Config{/*lease_s=*/1e-3, /*max_batch=*/64});
+  const auto burst = [&] {
+    for (int i = 0; i < 128; ++i) proxy.create([](sim::Time) {});
+    engine.run();
+  };
+  burst();  // warm-up: pending vector capacity, pool, in-flight ring
+
+  AllocGuard guard;
+  guard.start();
+  burst();
+  const std::size_t allocs = guard.stop();
+  EXPECT_LE(allocs, 12u) << "proxy create/flush cycle allocated " << allocs
+                         << " times for 128 creates (callback vectors must recycle)";
 }
 
 }  // namespace

@@ -170,6 +170,84 @@ TEST(Mds, DifferentOpKindsUseDifferentBaseTimes) {
   EXPECT_NEAR(stat_done - close_done, 0.001, 1e-9);
 }
 
+TEST(Mds, CreateDefaultsToOpenPrice) {
+  // create_base_s < 0 (the default) prices Create exactly like Open, so a
+  // tier that issues Create ops is byte-identical to one issuing Opens.
+  Engine e;
+  MetadataServer::Config c;
+  c.open_base_s = 0.004;
+  c.queue_penalty = 0.0;
+  MetadataServer mds(e, c);
+  Time create_done = -1;
+  mds.submit(MetadataServer::OpKind::Create, [&](Time t) { create_done = t; });
+  e.run();
+  EXPECT_NEAR(create_done, 0.004, 1e-9);
+}
+
+TEST(Mds, CreateHonoursItsOwnPriceWhenSet) {
+  Engine e;
+  MetadataServer::Config c;
+  c.open_base_s = 0.004;
+  c.create_base_s = 0.007;
+  c.queue_penalty = 0.0;
+  MetadataServer mds(e, c);
+  Time create_done = -1, open_done = -1;
+  mds.submit(MetadataServer::OpKind::Create, [&](Time t) { create_done = t; });
+  e.run();
+  mds.submit(MetadataServer::OpKind::Open, [&](Time t) { open_done = t; });
+  e.run();
+  EXPECT_NEAR(create_done, 0.007, 1e-9);
+  EXPECT_NEAR(open_done - create_done, 0.004, 1e-9);
+}
+
+TEST(Mds, BatchedRequestAmortizesBaseTime) {
+  // service(k items) = base * (1 + penalty * backlog) + (k - 1) * batch_item_s:
+  // one base charge for the request, a marginal per-item cost after that.
+  Engine e;
+  MetadataServer::Config c;
+  c.open_base_s = 0.004;
+  c.queue_penalty = 0.0;
+  c.batch_item_s = 0.0005;
+  MetadataServer mds(e, c);
+  Time done = -1;
+  mds.submit_batch(MetadataServer::OpKind::Open, 8, [&](Time t) { done = t; });
+  e.run();
+  EXPECT_NEAR(done, 0.004 + 7 * 0.0005, 1e-9);
+  EXPECT_EQ(mds.completed_ops(), 1u);
+  EXPECT_EQ(mds.completed_items(), 8u);
+}
+
+TEST(Mds, BatchOfOneEqualsSubmit) {
+  MetadataServer::Config c;
+  c.open_base_s = 0.003;
+  c.queue_penalty = 0.02;
+  c.batch_item_s = 0.001;  // must not leak into a k=1 request
+
+  Engine ea;
+  MetadataServer a(ea, c);
+  std::vector<Time> ta;
+  for (int i = 0; i < 16; ++i) a.submit(MetadataServer::OpKind::Open, [&](Time t) { ta.push_back(t); });
+  ea.run();
+
+  Engine eb;
+  MetadataServer b(eb, c);
+  std::vector<Time> tb;
+  for (int i = 0; i < 16; ++i)
+    b.submit_batch(MetadataServer::OpKind::Open, 1, [&](Time t) { tb.push_back(t); });
+  eb.run();
+
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]) << "op " << i;
+  EXPECT_EQ(b.completed_items(), b.completed_ops());
+}
+
+TEST(Mds, EmptyBatchIsRejected) {
+  Engine e;
+  MetadataServer mds(e, MetadataServer::Config{});
+  EXPECT_THROW(mds.submit_batch(MetadataServer::OpKind::Open, 0, [](Time) {}),
+               std::invalid_argument);
+}
+
 TEST(Mds, CallbackCanSubmitMoreWork) {
   Engine e;
   MetadataServer::Config c;

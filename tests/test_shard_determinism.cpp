@@ -229,6 +229,44 @@ TEST(ShardDomainInvariance, DigestsInvariantUnderDomainGrid) {
   }
 }
 
+// Multi-MDS tier determinism: with a 4-wide metadata tier the servers are
+// homed on different shards (one per domain span), so open/close requests
+// and completions cross the channel plane in both directions.  Because every
+// rank<->MDS coupling quantizes at a window boundary regardless of placement,
+// the digests must stay bit-identical at every shard count — same property,
+// same exactness, as the single-MDS sweep above.
+TEST(ShardMultiMds, DigestsBitIdenticalAcrossShardCounts) {
+  const IoJob job = seeded_job(7);
+  auto cfg = rig_config(1);
+  cfg.fs.n_mds = 4;
+  const RunOutcome base = run_job(cfg, job);
+  ASSERT_GT(base.n_records, 0u);
+  for (const std::size_t s : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    auto c = rig_config(s);
+    c.fs.n_mds = 4;
+    const RunOutcome other = run_job(c, job);
+    expect_identical(base, other,
+                     (testing::Message() << "n_mds=4 shards=" << s).GetString().c_str());
+  }
+}
+
+// And the domain grid stays a pure load-balancing knob with a tier: re-cutting
+// the grid moves MDS homes between shards but no timestamps.
+TEST(ShardMultiMds, DigestsInvariantUnderDomainGridWithTier) {
+  const IoJob job = seeded_job(5);
+  auto cfg = rig_config(4);
+  cfg.fs.n_mds = 4;
+  const RunOutcome base = run_job(cfg, job);
+  ASSERT_GT(base.n_records, 0u);
+  for (const std::size_t d : {std::size_t{1}, std::size_t{3}, std::size_t{16}}) {
+    auto c = cfg;
+    c.n_domains = d;
+    const RunOutcome other = run_job(c, job);
+    expect_identical(base, other,
+                     (testing::Message() << "n_mds=4 domains=" << d).GetString().c_str());
+  }
+}
+
 TEST(ShardDeterminismNegative, MisorderedMergeIsRejected) {
   ShardedAdaptiveSim sim(rig_config(2));
   ASSERT_EQ(sim.shards().n_shards(), 2u);

@@ -47,6 +47,10 @@ struct Rig {
       : filesystem(engine, test_fs(n_osts)),
         network(engine, net::NetConfig{1e-6, 10e9, 8}, ranks) {}
 
+  /// Custom file-system config (metadata-tier tests).
+  explicit Rig(const fs::FsConfig& fc, std::size_t ranks = 64)
+      : filesystem(engine, fc), network(engine, net::NetConfig{1e-6, 10e9, 8}, ranks) {}
+
   IoResult run(core::Transport& t, const IoJob& job) {
     std::optional<IoResult> result;
     t.run(job, [&](IoResult r) { result = std::move(r); });
@@ -207,6 +211,70 @@ TEST(AdaptiveTransport, StealingImprovesSlowTargetTime) {
   const double with = run_with(true);
   const double without = run_with(false);
   EXPECT_LT(with, 0.7 * without);
+}
+
+// --- client-side open batching and the metadata tier -------------------------
+
+// A batch of one is not "approximately" the per-file path — it reproduces the
+// legacy submission sequence request for request, so every simulated
+// timestamp (open phase, writer windows, completion) matches exactly.
+TEST(AdaptiveTransport, OpenBatchOfOneIsIdenticalToPerFileOpens) {
+  const IoJob job = IoJob::uniform(16, 2e6);
+  for (const auto mode : {AdaptiveTransport::Config::OpenMode::Storm,
+                          AdaptiveTransport::Config::OpenMode::Staggered}) {
+    Rig a(8);
+    AdaptiveTransport::Config ca = adaptive_cfg();
+    ca.open_mode = mode;
+    AdaptiveTransport ta(a.filesystem, a.network, ca);
+    const IoResult ra = a.run(ta, job);
+
+    Rig b(8);
+    AdaptiveTransport::Config cb = ca;
+    cb.open_batch = 1;
+    AdaptiveTransport tb(b.filesystem, b.network, cb);
+    const IoResult rb = b.run(tb, job);
+
+    EXPECT_EQ(ra.t_open_done, rb.t_open_done);
+    EXPECT_EQ(ra.t_data_done, rb.t_data_done);
+    EXPECT_EQ(ra.t_complete, rb.t_complete);
+    ASSERT_EQ(ra.writer_times.size(), rb.writer_times.size());
+    for (std::size_t i = 0; i < ra.writer_times.size(); ++i) {
+      EXPECT_EQ(ra.writer_times[i].start, rb.writer_times[i].start) << "writer " << i;
+      EXPECT_EQ(ra.writer_times[i].end, rb.writer_times[i].end) << "writer " << i;
+    }
+    // Same metadata traffic, one request at a time.
+    EXPECT_EQ(a.filesystem.mds_group().completed_ops(), b.filesystem.mds_group().completed_ops());
+    EXPECT_EQ(b.filesystem.mds_group().completed_ops(),
+              b.filesystem.mds_group().completed_items());
+  }
+}
+
+TEST(AdaptiveTransport, TierWithBatchingShortensTheOpenPhase) {
+  const IoJob job = IoJob::uniform(32, 1e6);
+  auto open_phase = [&](std::size_t n_mds, std::size_t open_batch) {
+    fs::FsConfig fc = test_fs(16);
+    fc.n_mds = n_mds;
+    fc.mds.queue_penalty = 0.05;  // make the open storm hurt
+    Rig rig(fc);
+    AdaptiveTransport::Config c = adaptive_cfg(16);
+    c.open_mode = AdaptiveTransport::Config::OpenMode::Storm;
+    c.open_batch = open_batch;
+    AdaptiveTransport t(rig.filesystem, rig.network, c);
+    const IoResult r = rig.run(t, job);
+    EXPECT_DOUBLE_EQ(r.total_bytes, 32e6);
+    // The tier splits the namespace: with several servers, more than one
+    // must have seen requests (17 files hash across the servers).
+    if (n_mds > 1) {
+      std::size_t used = 0;
+      for (std::size_t m = 0; m < rig.filesystem.mds_group().count(); ++m)
+        used += rig.filesystem.mds_group().server(m).completed_ops() > 0 ? 1 : 0;
+      EXPECT_GT(used, 1u);
+    }
+    return r.t_open_done - r.t_begin;
+  };
+  const double seed_path = open_phase(1, 0);
+  const double tiered = open_phase(4, 8);
+  EXPECT_LT(tiered, seed_path);
 }
 
 TEST(AdaptiveTransport, ConcurrencyTwoKeepsTwoInFlight) {
