@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <initializer_list>
+#include <string>
 #include <vector>
 
 #include "obs/env.hpp"
@@ -200,6 +201,69 @@ inline bool mds_proxy() {
     std::fprintf(stderr, "bench: ignoring AIO_MDS_PROXY=\"%s\" (want 0 or 1)\n", v);
   }
   return false;
+}
+
+/// Shard-runtime profiler arming from `AIO_PROF` (obs/prof.hpp):
+///
+///   unset / "0"  — off (the default; zero clock reads in the run loop);
+///   "1" or "-"   — armed, one-line stderr summary per profiled sample;
+///   <path>       — armed, aio-prof-v1 JSON written to <path> (stderr
+///                  summary too).
+///
+/// Other digit-only values ("2", "07") are almost certainly mistyped
+/// toggles, not paths: rejected with a one-line stderr warning (once per
+/// process) and the profiler stays off.  `AIO_PROF_PERIOD_S` adds periodic
+/// one-line stderr rows every that-many host seconds (positive number;
+/// malformed values are rejected the same way and disable the ticker).
+struct ProfEnv {
+  bool enabled = false;
+  std::string path;      ///< empty = stderr summary only
+  double period_s = 0.0; ///< 0 = no periodic rows
+};
+inline ProfEnv prof_env() {
+  ProfEnv pe;
+  const char* v = std::getenv("AIO_PROF");
+  if (!v || !*v) return pe;
+  if (v[0] == '0' && v[1] == '\0') return pe;
+  const bool summary_only = (v[0] == '1' || v[0] == '-') && v[1] == '\0';
+  if (!summary_only) {
+    bool digits_only = true;
+    for (const char* p = v; *p; ++p)
+      if (*p < '0' || *p > '9') {
+        digits_only = false;
+        break;
+      }
+    if (digits_only) {
+      static bool warned = false;
+      if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "bench: ignoring AIO_PROF=\"%s\" (want 0, 1, -, or a file path)\n", v);
+      }
+      return pe;
+    }
+    pe.path = v;
+  }
+  pe.enabled = true;
+  const char* period = std::getenv("AIO_PROF_PERIOD_S");
+  if (period && *period) {
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(period, &end);
+    if (errno != 0 || end == period || *end != '\0' || !(parsed > 0.0)) {
+      static bool warned = false;
+      if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "bench: ignoring AIO_PROF_PERIOD_S=\"%s\" (want a positive number of "
+                     "seconds)\n",
+                     period);
+      }
+    } else {
+      pe.period_s = parsed;
+    }
+  }
+  return pe;
 }
 
 /// Window-batch policy from `AIO_SIM_WINDOW_BATCH`: either a fixed

@@ -31,10 +31,15 @@
 // Knobs: AIO_BENCH_MAX_PROCS trims the sweep; AIO_MDS_COUNT pins the tier
 // sweep to one width; AIO_MDS_BATCH sets the batched-mode span (default 64);
 // AIO_MDS_PROXY=1 adds proxy rows; AIO_JOURNAL/AIO_REPORT capture the
-// journal.  All knobs unset keeps stdout deterministic run to run.
+// journal.  `AIO_PROF` (bench/env.hpp) profiles the host cost of each storm
+// (single-engine mode: one slot, execute time + engine events) — a stderr
+// line and prof_* JSON values per row, plus an aio-prof-v1 document array
+// when AIO_PROF is a path.  All knobs unset keeps stdout deterministic run
+// to run.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -42,6 +47,7 @@
 
 #include "fs/mds_group.hpp"
 #include "harness.hpp"
+#include "obs/prof.hpp"
 
 namespace {
 
@@ -85,8 +91,9 @@ constexpr double kArrivalGap_s = 50e-6;
 /// create-visible minus its own arrival — for batched modes that includes
 /// the wait for its span to assemble or its lease to flush.
 StormOut run_storm(std::size_t procs, std::size_t n_mds, Mode mode, std::size_t batch,
-                   obs::Journal* journal) {
+                   obs::Journal* journal, obs::prof::ShardProfiler* prof) {
   const auto w0 = std::chrono::steady_clock::now();
+  if (prof) prof->bind(1);  // single-engine mode: one slot, re-zeroed per storm
   sim::Engine engine;
   engine.set_journal(journal);
   fs::MdsGroup::Config gc;
@@ -168,6 +175,14 @@ StormOut run_storm(std::size_t procs, std::size_t n_mds, Mode mode, std::size_t 
                              std::to_string(procs) + " writers");
 
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - w0).count();
+  if (prof) {
+    // Single-engine profile: the whole storm (scheduling + event dispatch)
+    // is "execute"; there is no barrier/merge/skip to split out.
+    obs::prof::ShardProfiler::Slot& s = prof->slot(0);
+    s.execute_s = out.wall_s;
+    s.rounds = 1;
+    s.events = engine.steps();
+  }
   out.per_mds.resize(n_mds);
   for (std::size_t m = 0; m < n_mds; ++m) {
     out.per_mds[m].ops = group.server(m).completed_ops();
@@ -200,6 +215,13 @@ int main() {
   const std::unique_ptr<obs::Journal> journal = obs::Journal::from_env(0);
   if (journal) journal->reserve(1 << 20);
 
+  const bench::ProfEnv prof_env = bench::prof_env();
+  std::unique_ptr<obs::prof::ShardProfiler> prof;
+  if (prof_env.enabled)
+    prof = std::make_unique<obs::prof::ShardProfiler>(
+        obs::prof::ShardProfiler::Config{std::string(), prof_env.period_s});
+  obs::Json prof_docs = obs::Json::array();
+
   stats::Table table(
       {"writers", "mds", "mode", "mean ms", "p99 ms", "cov", "span s", "peak queue"});
 
@@ -210,7 +232,7 @@ int main() {
       std::vector<Mode> modes{Mode::PerFile, Mode::Batched};
       if (with_proxy) modes.push_back(Mode::Proxy);
       for (const Mode mode : modes) {
-        const StormOut out = run_storm(procs, n_mds, mode, batch, journal.get());
+        const StormOut out = run_storm(procs, n_mds, mode, batch, journal.get(), prof.get());
         std::size_t peak = 0;
         for (const PerMds& m : out.per_mds) peak = std::max(peak, m.peak_backlog);
         table.add_row({std::to_string(procs), std::to_string(n_mds), mode_name(mode),
@@ -234,6 +256,20 @@ int main() {
               .value(key + "_items", static_cast<double>(out.per_mds[m].items))
               .value(key + "_peak_backlog", static_cast<double>(out.per_mds[m].peak_backlog));
         }
+        if (prof) {
+          const obs::prof::ShardProfiler::Slot& s = prof->slot(0);
+          // Armed-only values, so env-unset JSON rows are unchanged.
+          row.value("prof_execute_s", s.execute_s)
+              .value("prof_events", static_cast<double>(s.events));
+          const std::string label = std::to_string(procs) + "w x " + std::to_string(n_mds) +
+                                    "mds " + mode_name(mode);
+          prof->print_summary(label.c_str());
+          obs::Json doc = prof->to_json();
+          doc.set("procs", static_cast<double>(procs));
+          doc.set("n_mds", static_cast<double>(n_mds));
+          doc.set("mode", mode_name(mode));
+          prof_docs.push(std::move(doc));
+        }
       }
     }
   }
@@ -245,6 +281,14 @@ int main() {
   if (journal) {
     (void)journal->write();
     (void)obs::flush_report(*journal, 0);
+  }
+  if (prof && !prof_env.path.empty()) {
+    std::ofstream out(prof_env.path);
+    if (out)
+      out << prof_docs.dump() << '\n';
+    else
+      std::fprintf(stderr, "macro_createstorm: cannot write AIO_PROF path %s\n",
+                   prof_env.path.c_str());
   }
   return 0;
 }

@@ -25,9 +25,16 @@
 // `auto` switches the sharded rows to perf mode and hill-climbs the
 // multiplier across samples (bench/tuner.hpp).  Unset, the bench's stdout
 // is byte-identical to a build without sharding.
+//
+// `AIO_PROF` (bench/env.hpp) arms the shard-runtime profiler on the sharded
+// rows: a one-line stderr host-time split per sweep point, prof_* values in
+// the JSON rows, and — when AIO_PROF is a path — an aio-prof-v1 document
+// array written there at exit.  Simulated results are bit-identical armed
+// or not; stdout is untouched either way.
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -87,6 +94,15 @@ struct RunCost {
   std::uint64_t windows_executed = 0;
   std::uint64_t windows_skipped = 0;
   std::uint64_t barrier_rounds = 0;
+  // Profiled rows only (AIO_PROF, obs/prof.hpp): the sample's host-time
+  // split summed across shards, plus the load-imbalance index.
+  bool prof_armed = false;
+  double prof_execute_s = 0.0;
+  double prof_barrier_s = 0.0;
+  double prof_merge_s = 0.0;
+  double prof_skip_s = 0.0;
+  double prof_imbalance = 1.0;
+  std::uint64_t prof_backlog_hw = 0;
 };
 
 /// One cold sample: build a rig sized to `procs`, run one collective output,
@@ -166,7 +182,8 @@ RunCost run_one(const fs::MachineSpec& spec, const workload::Pixie3dConfig& mode
 /// tools/aio_report reads sharded and classic runs out of one file.
 RunCost run_one_sharded(const fs::MachineSpec& spec, const workload::Pixie3dConfig& model,
                         std::size_t procs, std::size_t n_shards, std::size_t n_domains,
-                        double window_batch, bool auto_mode, obs::Journal* journal) {
+                        double window_batch, bool auto_mode, obs::Journal* journal,
+                        obs::prof::ShardProfiler* prof) {
   const std::uint64_t rss0 = current_rss_bytes();
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -181,6 +198,7 @@ RunCost run_one_sharded(const fs::MachineSpec& spec, const workload::Pixie3dConf
   cfg.window_batch = window_batch;
   cfg.deterministic = !auto_mode;
   cfg.window_batch_auto = auto_mode;
+  cfg.profiler = prof;  // re-bound (and zeroed) per sample by set_profiler
   core::ShardedAdaptiveSim sim(cfg);
   const core::IoResult result = sim.run(workload::pixie3d_job(model, procs));
 
@@ -193,6 +211,16 @@ RunCost run_one_sharded(const fs::MachineSpec& spec, const workload::Pixie3dConf
   cost.windows_executed = sim.shards().windows_executed();
   cost.windows_skipped = sim.shards().windows_skipped();
   cost.barrier_rounds = sim.shards().barrier_rounds();
+  if (prof) {
+    const obs::prof::ShardProfiler::Slot t = prof->totals();
+    cost.prof_armed = true;
+    cost.prof_execute_s = t.execute_s;
+    cost.prof_barrier_s = t.barrier_s;
+    cost.prof_merge_s = t.merge_s;
+    cost.prof_skip_s = t.skip_s;
+    cost.prof_imbalance = prof->imbalance();
+    cost.prof_backlog_hw = t.backlog_hw;
+  }
   const std::uint64_t rss1 = current_rss_bytes();
   cost.rss_delta = rss1 > rss0 ? rss1 - rss0 : 0;
 
@@ -242,6 +270,18 @@ int main() {
     std::fprintf(stderr,
                  "macro_jaguar: AIO_LIVE is ignored for sharded adaptive rows "
                  "(the live plane is single-engine)\n");
+  // Shard-runtime profiler (AIO_PROF): one instance reused across the sweep
+  // (each sample re-binds and zeroes it).  Per-sweep-point documents are
+  // collected and written as one aio-prof-v1 array at the end.
+  const bench::ProfEnv prof_env = bench::prof_env();
+  std::unique_ptr<obs::prof::ShardProfiler> prof;
+  if (prof_env.enabled && !shard_sweep.empty())
+    prof = std::make_unique<obs::prof::ShardProfiler>(
+        obs::prof::ShardProfiler::Config{std::string(), prof_env.period_s});
+  if (prof_env.enabled && shard_sweep.empty())
+    std::fprintf(stderr,
+                 "macro_jaguar: AIO_PROF needs a sharded sweep (set AIO_SIM_SHARDS)\n");
+  obs::Json prof_docs = obs::Json::array();
 
   std::vector<std::string> headers{"writers", "transport", "wall s", "sim s",
                                    "Mevents/s", "rss delta", "B/writer"};
@@ -279,6 +319,16 @@ int main() {
           .value("windows_executed", static_cast<double>(last.windows_executed))
           .value("windows_skipped", static_cast<double>(last.windows_skipped))
           .value("barrier_rounds", static_cast<double>(last.barrier_rounds));
+      if (last.prof_armed) {
+        // Only when AIO_PROF armed the profiler, so env-unset JSON rows are
+        // unchanged byte for byte.
+        row.value("prof_execute_s", last.prof_execute_s)
+            .value("prof_barrier_s", last.prof_barrier_s)
+            .value("prof_merge_s", last.prof_merge_s)
+            .value("prof_skip_s", last.prof_skip_s)
+            .value("prof_imbalance", last.prof_imbalance)
+            .value("prof_backlog_hw", static_cast<double>(last.prof_backlog_hw));
+      }
     }
   };
 
@@ -302,11 +352,22 @@ int main() {
           for (std::size_t s = 0; s < samples; ++s) {
             const double batch = wb.auto_tune ? tuner.next() : wb.value;
             last = run_one_sharded(spec, model, procs, n_shards, sim_domains, batch,
-                                   wb.auto_tune, journal.get());
+                                   wb.auto_tune, journal.get(), prof.get());
             wall.add(last.wall_s);
             if (wb.auto_tune) tuner.feedback(last.wall_s);
           }
           emit(procs, "adaptive", n_shards, wall, last);
+          if (prof) {
+            // One summary + document per sweep point (the last sample's
+            // numbers — each sample re-binds the profiler).
+            const std::string label =
+                std::to_string(procs) + "w x " + std::to_string(n_shards) + "sh";
+            prof->print_summary(label.c_str());
+            obs::Json doc = prof->to_json();
+            doc.set("procs", static_cast<double>(procs));
+            doc.set("shards", static_cast<double>(n_shards));
+            prof_docs.push(std::move(doc));
+          }
         }
         continue;
       }
@@ -328,5 +389,13 @@ int main() {
     (void)obs::flush_report(*journal, 0);
   }
   if (live) live->flush();
+  if (prof && !prof_env.path.empty()) {
+    std::ofstream out(prof_env.path);
+    if (out)
+      out << prof_docs.dump() << '\n';
+    else
+      std::fprintf(stderr, "macro_jaguar: cannot write AIO_PROF path %s\n",
+                   prof_env.path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Critical-path invariant gate (CI).
+
+For every run in an aio-report-v1 document, the typed critical-path segments
+must tile the run's [t_open, t_complete] interval exactly: contiguous,
+in-order, and summing to run_time_s (== IoResult::io_seconds()) within 1e-9
+both segment-by-segment and via totals.sum_s.  The summary shares must sum
+to 1.  Usage: critical_path_check.py report.json [report2.json ...]; exits
+non-zero on the first violated invariant, so CI can also use it as the
+oracle for the injected-drift negative test.
+"""
+import json
+import sys
+
+TOL = 1e-9
+COMPONENTS = ("mds", "internal", "external", "network", "residual")
+
+
+def check(path):
+    rep = json.load(open(path))
+    assert rep.get("schema") == "aio-report-v1", rep.get("schema")
+    runs = rep.get("runs") or []
+    assert runs, f"{path}: report has no runs"
+    for run in runs:
+        cp = run.get("critical_path")
+        assert cp, f"{path}: run {run.get('run')} has no critical_path"
+        segs = cp["segments"]
+        assert segs, f"{path}: run {run.get('run')} has an empty path"
+        # Contiguous tiling of [t0, t1], with durations that match the bounds.
+        cursor = cp["t0"]
+        for i, seg in enumerate(segs):
+            assert seg["type"] in COMPONENTS, seg["type"]
+            assert abs(seg["t0"] - cursor) <= TOL, \
+                f"{path}: run {run['run']} segment {i} leaves a gap at {cursor!r}"
+            assert abs((seg["t1"] - seg["t0"]) - seg["dur_s"]) <= TOL, \
+                f"{path}: run {run['run']} segment {i} dur_s disagrees with bounds"
+            cursor = seg["t1"]
+        assert abs(cursor - cp["t1"]) <= TOL, \
+            f"{path}: run {run['run']} path ends at {cursor!r}, not t1={cp['t1']!r}"
+        # 100% attribution: both the segment sum and the typed totals equal
+        # the run's end-to-end io_seconds to 1e-9.
+        seg_sum = sum(s["dur_s"] for s in segs)
+        tot_sum = cp["totals"]["sum_s"]
+        typed = sum(cp["totals"][c + "_s"] for c in COMPONENTS)
+        for got, what in ((seg_sum, "segment sum"), (tot_sum, "totals.sum_s"),
+                          (typed, "typed totals")):
+            err = abs(got - run["run_time_s"])
+            assert err <= TOL, (f"{path}: run {run['run']} {what} {got!r} != "
+                                f"run_time_s {run['run_time_s']!r} (err {err:.3e})")
+    summary = rep["summary"]["critical_path"]
+    assert summary["runs"] == len(runs), (summary["runs"], len(runs))
+    shares = sum(summary[c + "_share"] for c in COMPONENTS)
+    assert abs(shares - 1.0) <= TOL, f"{path}: shares sum to {shares!r}"
+    print(f"{path}: critical path tiles all {len(runs)} runs to 1e-9 "
+          f"(external {summary['external_share']:.1%}, "
+          f"internal {summary['internal_share']:.1%}, "
+          f"residual {summary['residual_share']:.1%})")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit(f"usage: {sys.argv[0]} report.json [report.json ...]")
+    for p in sys.argv[1:]:
+        check(p)

@@ -18,6 +18,7 @@
 
 #include "core/transports/adaptive_transport.hpp"
 #include "obs/journal.hpp"
+#include "obs/prof.hpp"
 #include "sim/shard.hpp"
 
 namespace aio::core {
@@ -46,6 +47,12 @@ class ShardedAdaptiveSim {
     /// determinism mode: a tuned window changes cross-entity quantization,
     /// so the sweep's digests would no longer be comparable.
     bool window_batch_auto = false;
+    /// Host-runtime profiler (obs/prof.hpp), bound to the shard group before
+    /// the run.  Null (the default) records nothing.  Profiling never feeds
+    /// back into simulated time, so results stay bit-identical armed or not;
+    /// with `collect_journal` the run additionally appends one kProfShard
+    /// record per shard at the run's final simulated time.
+    obs::prof::ShardProfiler* profiler = nullptr;
   };
 
   explicit ShardedAdaptiveSim(Config config);

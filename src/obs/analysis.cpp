@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/critical_path.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "stats/summary.hpp"
@@ -48,6 +49,11 @@ struct RunData {
   double steals = 0.0, grants = 0.0;
   std::uint64_t mds_ops = 0;
   double mds_service_s = 0.0;
+  // Phase-scoped MDS service: before the kOpenDone mark (the open storm) and
+  // after the kDataDone mark (close traffic inside the reported interval) —
+  // the two ends the critical path cares about.
+  double mds_open_s = 0.0;
+  double mds_close_s = 0.0;
   std::map<std::uint32_t, std::uint32_t> file_ost;
   std::map<std::uint32_t, WriterInfo> writers;       // by rank
   std::map<std::uint32_t, StealInfo> steal_chains;   // by grant_seq
@@ -135,6 +141,7 @@ Json analyze(const Journal& journal) {
     std::uint32_t peak_queue = 0;  // deepest backlog behind a dispatch
   };
   std::map<std::uint32_t, MdsAgg> mds_servers;
+  std::vector<Record> prof_shards;  // kProfShard records, stream order
 
   for (const Record& r : journal.records()) {
     switch (r.kind) {
@@ -191,6 +198,10 @@ Json analyze(const Journal& journal) {
         if (cur) {
           ++cur->mds_ops;
           cur->mds_service_s += r.v0;
+          if (cur->t_open < 0.0)
+            cur->mds_open_s += r.v0;
+          else if (cur->t_data_done >= 0.0 && r.t >= cur->t_data_done)
+            cur->mds_close_s += r.v0;
         }
         MdsAgg& m = mds_servers[r.id];
         ++m.ops;
@@ -218,6 +229,11 @@ Json analyze(const Journal& journal) {
           s.bytes = r.v0;
         }
         break;
+      case Rec::kProfShard:
+        // Host-runtime artifact (obs/prof.hpp): surfaced verbatim under
+        // summary.prof, never folded into simulated-time accounting.
+        prof_shards.push_back(r);
+        break;
     }
   }
 
@@ -241,6 +257,9 @@ Json analyze(const Journal& journal) {
     double wait_ext = 0.0;  // external interference of writers homed here
   };
   std::map<std::uint32_t, OstAgg> osts;
+
+  std::uint64_t cp_runs = 0;
+  PathTotals cp_agg;
 
   std::uint64_t steals_completed = 0;
   double saved_total = 0.0;
@@ -326,6 +345,68 @@ Json analyze(const Journal& journal) {
       sa.saved_s += saved;
     }
 
+    // Critical path: walk the causal chain through the anchor writer — the
+    // last to finish its data write, the one the close phase waited on.
+    PathInputs pin;
+    pin.t_open = run.t_open;
+    pin.t_data_done = run.t_data_done;
+    pin.t_complete = run.t_complete;
+    pin.t_begin = run.t_begin;
+    pin.open_mds_service_s = run.mds_open_s;
+    pin.close_mds_s = run.mds_close_s;
+    const WriterInfo* anchor = nullptr;
+    std::uint32_t anchor_rank = 0;
+    for (const auto& [rank, w] : run.writers) {
+      if (w.signal_t < 0.0 || w.start_t < 0.0 || w.end_t < 0.0) continue;
+      if (!anchor || w.end_t > anchor->end_t) {
+        anchor = &w;
+        anchor_rank = rank;
+      }
+    }
+    if (anchor) {
+      pin.have_anchor = true;
+      pin.anchor_writer = anchor_rank;
+      pin.anchor_target = anchor->target;
+      pin.anchor_adaptive = anchor->adaptive;
+      pin.signal_t = anchor->signal_t;
+      pin.start_t = anchor->start_t;
+      pin.end_t = anchor->end_t;
+      const auto home_it = run.file_ost.find(anchor->origin);
+      const std::uint32_t home_ost = home_it != run.file_ost.end() ? home_it->second : 0;
+      const auto tgt_it = run.file_ost.find(anchor->target);
+      pin.anchor_ost = tgt_it != run.file_ost.end() ? tgt_it->second : 0;
+      if (run.t_open >= 0.0)
+        if (const auto tl = ost_timeline.find(home_ost); tl != ost_timeline.end())
+          pin.queue_ext_s = integrate_ext(tl->second, run.t_open, anchor->signal_t);
+      if (const auto tl = ost_timeline.find(pin.anchor_ost); tl != ost_timeline.end())
+        pin.service_ext_s = integrate_ext(tl->second, anchor->start_t, anchor->end_t);
+      if (anchor->adaptive) {
+        const auto st = run.steal_chains.find(anchor->grant_seq);
+        if (st != run.steal_chains.end() && st->second.grant_t >= 0.0) {
+          pin.grant_t = st->second.grant_t;
+          if (st->second.complete_t >= 0.0) {
+            double svc = 0.0;
+            if (const auto fi = file_service.find(st->second.source);
+                fi != file_service.end() && fi->second.count() > 0)
+              svc = fi->second.mean();
+            pin.steal_saved_s =
+                (st->second.grant_t + st->second.queue_depth * svc) - st->second.complete_t;
+          }
+        }
+      }
+    }
+    Json cp = critical_path_json(pin);
+    if (!cp.is_null()) {
+      const PathTotals pt = path_totals(critical_path_segments(pin));
+      ++cp_runs;
+      cp_agg.mds_s += pt.mds_s;
+      cp_agg.internal_s += pt.internal_s;
+      cp_agg.external_s += pt.external_s;
+      cp_agg.network_s += pt.network_s;
+      cp_agg.residual_s += pt.residual_s;
+      cp_agg.span_s += pt.span_s;
+    }
+
     Json rj = Json::object();
     rj.set("run", run.run);
     rj.set("n_writers", run.n_writers);
@@ -340,6 +421,7 @@ Json analyze(const Journal& journal) {
     rj.set("steals", run.steals);
     rj.set("grants", run.grants);
     rj.set("mds_ops", static_cast<double>(run.mds_ops));
+    if (!cp.is_null()) rj.set("critical_path", std::move(cp));
     runs_json.push(std::move(rj));
   }
 
@@ -388,6 +470,45 @@ Json analyze(const Journal& journal) {
   attrib.set("attributed_frac",
              wait_s > 0.0 ? (int_s + ext_s + mds_s + net_s) / wait_s : 1.0);
   summary.set("attribution", std::move(attrib));
+
+  if (cp_runs > 0) {
+    // Aggregate critical path: the bounded seconds by type, summed over
+    // runs.  Unlike attribution (all writers' waits) this is only the time
+    // that actually gated end-to-end completion.
+    Json cpj = Json::object();
+    cpj.set("runs", static_cast<double>(cp_runs));
+    cpj.set("span_s", cp_agg.span_s);
+    cpj.set("mds_s", cp_agg.mds_s);
+    cpj.set("internal_s", cp_agg.internal_s);
+    cpj.set("external_s", cp_agg.external_s);
+    cpj.set("network_s", cp_agg.network_s);
+    cpj.set("residual_s", cp_agg.residual_s);
+    const double cp_denom = cp_agg.span_s > 0.0 ? cp_agg.span_s : 1.0;
+    cpj.set("mds_share", cp_agg.mds_s / cp_denom);
+    cpj.set("internal_share", cp_agg.internal_s / cp_denom);
+    cpj.set("external_share", cp_agg.external_s / cp_denom);
+    cpj.set("network_share", cp_agg.network_s / cp_denom);
+    cpj.set("residual_share", cp_agg.residual_s / cp_denom);
+    summary.set("critical_path", std::move(cpj));
+  }
+
+  if (!prof_shards.empty()) {
+    Json prof = Json::array();
+    for (const Record& r : prof_shards) {
+      Json pj = Json::object();
+      pj.set("shard", r.id);
+      pj.set("n_shards", static_cast<double>(r.a));
+      pj.set("t", r.t);
+      pj.set("execute_s", r.v0);
+      pj.set("barrier_s", r.v1);
+      pj.set("merge_s", r.v2);
+      pj.set("events", static_cast<double>(r.u0));
+      pj.set("msgs_posted", static_cast<double>(r.u1));
+      pj.set("msgs_drained", static_cast<double>(r.u2));
+      prof.push(std::move(pj));
+    }
+    summary.set("prof", std::move(prof));
+  }
 
   Json steals_doc = Json::object();
   steals_doc.set("completed", static_cast<double>(steals_completed));
@@ -461,6 +582,16 @@ std::string report_summary(const Json& report) {
   out += ", network " + pct(get_num(report, {"summary", "attribution", "network_share"}));
   out += " (attributed " + pct(get_num(report, {"summary", "attribution", "attributed_frac"}));
   out += ")\n";
+  if (get_num(report, {"summary", "critical_path", "runs"}) > 0) {
+    out += "  critical path: external " +
+           pct(get_num(report, {"summary", "critical_path", "external_share"}));
+    out += ", internal " + pct(get_num(report, {"summary", "critical_path", "internal_share"}));
+    out += ", network " + pct(get_num(report, {"summary", "critical_path", "network_share"}));
+    out += ", mds " + pct(get_num(report, {"summary", "critical_path", "mds_share"}));
+    out += ", residual " + pct(get_num(report, {"summary", "critical_path", "residual_share"}));
+    out += " of " + fmt3(get_num(report, {"summary", "critical_path", "span_s"})) +
+           "s bounded\n";
+  }
   if (const Json* stragglers = report.find("summary");
       stragglers && (stragglers = stragglers->find("stragglers")) && stragglers->size() > 0) {
     out += "  stragglers:";
@@ -508,6 +639,19 @@ std::string report_html(const Json& report) {
       ".bar{display:inline-block;height:.8em;background:#4a90d9}\n"
       "</style></head><body>\n<h1>aio report</h1>\n";
 
+  // Run-summary navigation: the deep-dive sections live below the fold.
+  {
+    std::string nav = "<p>";
+    if (get_num(report, {"summary", "critical_path", "runs"}) > 0)
+      nav += "<a href=\"#critical-path\">Critical path</a> &middot; ";
+    if (const Json* s = report.find("summary"); s && s->find("mds_servers"))
+      nav += "<a href=\"#mds\">Metadata tier</a> &middot; ";
+    if (nav.size() > 3) {
+      nav.resize(nav.size() - 10);  // drop the trailing " &middot; "
+      out += nav + "</p>\n";
+    }
+  }
+
   out += "<h2>Variability</h2>\n<table><tr><th>metric</th><th>n</th><th>mean (s)</th>"
          "<th>CoV</th><th>p50 (s)</th><th>p99 (s)</th><th>max (s)</th></tr>\n";
   html_stat_row(out, "run_time", report, "run_time");
@@ -526,6 +670,37 @@ std::string report_html(const Json& report) {
            fmt(std::max(1.0, share * 300.0)) + "px\"></span></td></tr>\n";
   }
   out += "</table>\n";
+
+  if (get_num(report, {"summary", "critical_path", "runs"}) > 0) {
+    out += "<h2 id=\"critical-path\">Critical path</h2>\n"
+           "<p>Seconds that actually bounded end-to-end completion, summed over " +
+           fmt(get_num(report, {"summary", "critical_path", "runs"})) +
+           " run(s) (segments per run under <code>runs[i].critical_path</code>).</p>\n"
+           "<table><tr><th>segment type</th><th>seconds</th><th>share</th><th></th></tr>\n";
+    for (const char* comp : {"external", "internal", "network", "mds", "residual"}) {
+      const double s = get_num(report, {"summary", "critical_path",
+                                        (std::string(comp) + "_s").c_str()});
+      const double share = get_num(report, {"summary", "critical_path",
+                                            (std::string(comp) + "_share").c_str()});
+      out += "<tr><td>" + std::string(comp) + "</td><td>" + fmt3(s) + "</td><td>" +
+             pct(share) + "</td><td><span class=\"bar\" style=\"width:" +
+             fmt(std::max(1.0, share * 300.0)) + "px\"></span></td></tr>\n";
+    }
+    out += "</table>\n";
+  }
+
+  if (const Json* summary = report.find("summary")) {
+    if (const Json* tier = summary->find("mds_servers"); tier && tier->is_object()) {
+      out += "<h2 id=\"mds\">Metadata tier</h2>\n<table><tr><th>server</th><th>requests</th>"
+             "<th>items</th><th>service (s)</th><th>peak queue</th></tr>\n";
+      for (const auto& [name, mj] : tier->entries()) {
+        out += "<tr><td>" + name + "</td><td>" + fmt(get_num(mj, {"ops"})) + "</td><td>" +
+               fmt(get_num(mj, {"items"})) + "</td><td>" + fmt3(get_num(mj, {"service_s"})) +
+               "</td><td>" + fmt(get_num(mj, {"peak_queue"})) + "</td></tr>\n";
+      }
+      out += "</table>\n";
+    }
+  }
 
   if (const Json* summary = report.find("summary")) {
     if (const Json* osts = summary->find("osts"); osts && osts->is_object()) {

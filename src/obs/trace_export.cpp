@@ -1,0 +1,144 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace aio::obs {
+
+namespace {
+
+// An unbounded sink would let a pathological journal exhaust memory; match
+// the live sink's default cap instead (drops are silent here — the journal
+// itself is the lossless artifact).
+TraceSink make_sink() {
+  TraceSink::Config cfg;
+  cfg.categories = kCatAll;
+  return TraceSink(cfg);
+}
+
+void name_tracks(TraceSink& sink) {
+  sink.name_process(kPidProtocol, "protocol");
+  sink.name_process(kPidStorage, "storage");
+  sink.name_process(kPidMds, "mds");
+  sink.name_process(kPidRuntime, "runtime");
+}
+
+void journal_events(TraceSink& sink, const std::vector<Record>& records) {
+  // Writer spans pair kWriterStart with kWriterEnd on the writer's own
+  // thread; a start without an end (crash dump) leaves an open span, which
+  // the viewers render to the end of the trace — exactly right for a hang.
+  for (const Record& r : records) {
+    switch (r.kind) {
+      case Rec::kRunBegin:
+        sink.instant(kCatProtocol, kPidProtocol, 0, r.t, "run " + std::to_string(r.id),
+                     {{"writers", Json(static_cast<double>(r.u0))},
+                      {"files", Json(static_cast<double>(r.u1))},
+                      {"osts", Json(static_cast<double>(r.u2))}});
+        break;
+      case Rec::kRunMark: {
+        const char* name = r.a == 0 ? "open-done" : r.a == 1 ? "data-done" : "complete";
+        sink.instant(kCatProtocol, kPidProtocol, 0, r.t, name);
+        break;
+      }
+      case Rec::kFileMap:
+        break;  // placement is static context, not a timeline event
+      case Rec::kWriterSignal:
+        sink.instant(kCatProtocol, kPidProtocol, r.id + 1, r.t,
+                     r.a != 0 ? "signal (adaptive)" : "signal",
+                     {{"target", Json(static_cast<double>(r.u0))},
+                      {"origin", Json(static_cast<double>(r.u1))}});
+        break;
+      case Rec::kWriterStart:
+        sink.begin(kCatProtocol, kPidProtocol, r.id + 1, r.t, "write",
+                   {{"file", Json(static_cast<double>(r.u0))}, {"bytes", Json(r.v0)}});
+        break;
+      case Rec::kWriterEnd:
+        sink.end(kCatProtocol, kPidProtocol, r.id + 1, r.t);
+        break;
+      case Rec::kOstState:
+        sink.counter(kCatStorage, kPidStorage, r.t, "ost" + std::to_string(r.id) + " ext",
+                     std::max(r.v1, r.v2));
+        break;
+      case Rec::kMdsOp:
+        sink.instant(kCatMds, kPidMds, r.id, r.t, "op",
+                     {{"service_s", Json(r.v0)},
+                      {"backlog", Json(static_cast<double>(r.u0))},
+                      {"batched", Json(static_cast<double>(r.u1))}});
+        break;
+      case Rec::kStealGrant:
+        sink.instant(kCatProtocol, kPidProtocol, 0, r.t,
+                     "steal-grant " + std::to_string(r.id),
+                     {{"source", Json(static_cast<double>(r.u0))},
+                      {"file", Json(static_cast<double>(r.u1))},
+                      {"queue_depth", Json(r.v1)}});
+        break;
+      case Rec::kStealComplete:
+        sink.instant(kCatProtocol, kPidProtocol, 0, r.t,
+                     "steal-complete " + std::to_string(r.id),
+                     {{"writer", Json(static_cast<double>(r.u2))}, {"bytes", Json(r.v0)}});
+        break;
+      case Rec::kProfShard:
+        sink.instant(kCatRuntime, kPidRuntime, r.id, r.t,
+                     "prof shard " + std::to_string(r.id),
+                     {{"execute_s", Json(r.v0)},
+                      {"barrier_s", Json(r.v1)},
+                      {"merge_s", Json(r.v2)},
+                      {"events", Json(static_cast<double>(r.u0))},
+                      {"msgs_posted", Json(static_cast<double>(r.u1))},
+                      {"msgs_drained", Json(static_cast<double>(r.u2))}});
+        break;
+    }
+  }
+}
+
+void critical_path_events(TraceSink& sink, const Json& report) {
+  sink.name_process(kPidPath, "critical path");
+  const Json* runs = report.find("runs");
+  if (!runs || !runs->is_array()) return;
+  std::uint32_t tid = 0;
+  for (const Json& run : runs->items()) {
+    ++tid;  // 1-based, matching the journal's run ordinals
+    const Json* cp = run.find("critical_path");
+    if (!cp) continue;
+    sink.name_thread(kPidPath, tid, "run " + std::to_string(tid));
+    const Json* segs = cp->find("segments");
+    if (!segs || !segs->is_array()) continue;
+    for (const Json& seg : segs->items()) {
+      const Json* type = seg.find("type");
+      const Json* t0 = seg.find("t0");
+      const Json* t1 = seg.find("t1");
+      if (!type || !t0 || !t1) continue;
+      sink.begin(kCatProtocol, kPidPath, tid, t0->number(), type->str(),
+                 {{"dur_s", Json(t1->number() - t0->number())}});
+      sink.end(kCatProtocol, kPidPath, tid, t1->number());
+    }
+  }
+}
+
+}  // namespace
+
+Json journal_trace(const Journal& journal) {
+  TraceSink sink = make_sink();
+  name_tracks(sink);
+  journal_events(sink, journal.records());
+  return sink.to_json();
+}
+
+Json critical_path_trace(const Json& report) {
+  TraceSink sink = make_sink();
+  critical_path_events(sink, report);
+  return sink.to_json();
+}
+
+Json report_trace(const Journal& journal, const Json& report) {
+  TraceSink sink = make_sink();
+  name_tracks(sink);
+  journal_events(sink, journal.records());
+  critical_path_events(sink, report);
+  return sink.to_json();
+}
+
+}  // namespace aio::obs

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <thread>
 #include <utility>
+
+#include "obs/prof.hpp"
 
 namespace aio::sim {
 
@@ -228,6 +231,19 @@ void ShardGroup::worker(std::size_t shard) {
   double prev_end = 0.0;
   std::uint64_t prev_k = 0;
   bool first_window = true;
+  // Host-runtime profiling: null costs one test per round; armed costs five
+  // steady-clock reads per round, all into this shard's own padded slot.
+  // Consecutive phases share their boundary reads (the execute-end read is
+  // the next round's start), keeping the instrumented lockstep path as short
+  // as possible — on an oversubscribed host every serialized instruction
+  // between barrier rounds is amplified by the thread count.
+  using profclock = std::chrono::steady_clock;
+  obs::prof::ShardProfiler::Slot* const prof = prof_ ? &prof_->slot(shard) : nullptr;
+  const auto secs = [](profclock::time_point a, profclock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  profclock::time_point pt{};
+  if (prof) pt = profclock::now();
   for (std::uint64_t round = 0;; ++round) {
     const std::size_t parity = round & 1;
     // Publish this shard's horizon: the earliest thing it could make happen
@@ -238,10 +254,24 @@ void ShardGroup::worker(std::size_t shard) {
     Horizon& h = horizon_[parity * n_shards_ + shard];
     h.next_event = std::min(eng.next_event_time(), out.min_t);
     h.pending = eng.pending_normal() + out.count;
+    if (prof) prof->msgs_posted += out.count;
     out.min_t = kInf;
     out.count = 0;
     if (shard == 0) rounds_ = round + 1;
-    if (!barrier_wait()) return;
+    profclock::time_point pb{};
+    if (prof) {
+      pb = profclock::now();
+      prof->skip_s += secs(pt, pb);
+    }
+    const bool alive = barrier_wait();
+    if (prof) {
+      pt = profclock::now();
+      prof->barrier_s += secs(pb, pt);
+      prof->rounds = round + 1;
+      // events is NOT refreshed here: it only changes in run_before, so the
+      // execute-end store below already covers the exit paths.
+    }
+    if (!alive) return;
     double min_next = kInf;
     std::size_t total = 0;
     for (std::size_t s = 0; s < n_shards_; ++s) {
@@ -252,6 +282,13 @@ void ShardGroup::worker(std::size_t shard) {
     if (total == 0) return;  // drained: engines idle, no message in flight
     drain_and_merge(shard, parity, merged, prev_end);
     for (Msg& m : merged) eng.schedule_at(m.t, std::move(m.fn));
+    if (prof) {
+      const auto pm = profclock::now();
+      prof->merge_s += secs(pt, pm);
+      prof->msgs_drained += merged.size();
+      prof->backlog_hw = std::max<std::uint64_t>(prof->backlog_hw, merged.size());
+      pt = pm;
+    }
     // Hop to the window containing the global minimum — one hop over any
     // run of empty windows — on an integer grid; the guard absorbs
     // floating-point rounding at exact-boundary timestamps.
@@ -266,9 +303,26 @@ void ShardGroup::worker(std::size_t shard) {
     prev_k = k;
     tls_window_end = w_end;
     tls_parity = (round + 1) & 1;
+    profclock::time_point pe{};
+    if (prof) {
+      pe = profclock::now();
+      prof->skip_s += secs(pt, pe);
+    }
     eng.run_before(w_end);
+    if (prof) {
+      pt = profclock::now();  // doubles as the next round's start-of-skip read
+      prof->execute_s += secs(pe, pt);
+      prof->events = eng.steps();
+      if (shard == 0) prof_->maybe_tick();
+    }
     prev_end = w_end;
   }
+}
+
+void ShardGroup::set_profiler(obs::prof::ShardProfiler* prof) {
+  if (ran_) throw std::logic_error("ShardGroup: set_profiler must precede run()");
+  prof_ = prof;
+  if (prof_) prof_->bind(n_shards_);
 }
 
 void ShardGroup::run() {
@@ -277,6 +331,7 @@ void ShardGroup::run() {
   if (n_shards_ == 1) {
     worker(0);
     tls_parity = 0;
+    if (prof_) prof_->note_windows(window_s_, windows_executed_, windows_skipped_, rounds_);
     return;
   }
   std::vector<std::thread> threads;
@@ -297,6 +352,7 @@ void ShardGroup::run() {
   tls_engine = engines_[0].get();
   tls_shard = 0;
   tls_parity = 0;
+  if (prof_) prof_->note_windows(window_s_, windows_executed_, windows_skipped_, rounds_);
   for (auto& e : errors_)
     if (e) std::rethrow_exception(e);
 }

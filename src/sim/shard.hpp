@@ -54,6 +54,10 @@
 
 #include "sim/engine.hpp"
 
+namespace aio::obs::prof {
+class ShardProfiler;
+}
+
 namespace aio::sim {
 
 /// Engine of the shard executing on the current thread (engine 0 outside the
@@ -167,6 +171,15 @@ class ShardGroup {
   [[nodiscard]] std::uint64_t windows_skipped() const { return windows_skipped_; }
   [[nodiscard]] std::uint64_t barrier_rounds() const { return rounds_; }
 
+  /// Arms the host-runtime profiler (obs/prof.hpp): binds one padded slot
+  /// per shard and makes the window loop accumulate execute / barrier-wait /
+  /// merge / skip host time plus message counters into it.  Null (the
+  /// default) costs one pointer test per round and zero clock reads.  Must
+  /// be called before run(); the profiler only reads the host clock, so the
+  /// simulated event sequence is identical armed or not.
+  void set_profiler(obs::prof::ShardProfiler* prof);
+  [[nodiscard]] obs::prof::ShardProfiler* profiler() const { return prof_; }
+
   /// Test hook: makes the next multi-message merge swap two entries so the
   /// canonical-order validator must reject it (proves misordered cross-shard
   /// merges cannot pass silently).
@@ -226,6 +239,7 @@ class ShardGroup {
   std::vector<OutAcc> out_;                    // one per shard
   PaddedAtomicU32 barrier_phase_;              // generation << 1 | abort bit
   PaddedAtomicU32 barrier_count_;
+  obs::prof::ShardProfiler* prof_ = nullptr;
   std::atomic<bool> corrupt_{false};
   std::vector<std::exception_ptr> errors_;
   std::uint64_t windows_executed_ = 0;  // written by shard 0 only

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <new>
@@ -35,6 +36,7 @@
 #include "fs/ost.hpp"
 #include "net/network.hpp"
 #include "obs/journal.hpp"
+#include "obs/prof.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -426,6 +428,47 @@ TEST(AllocGuard, MdsProxySteadyStateRecyclesItsBatches) {
   const std::size_t allocs = guard.stop();
   EXPECT_LE(allocs, 12u) << "proxy create/flush cycle allocated " << allocs
                          << " times for 128 creates (callback vectors must recycle)";
+}
+
+// --- shard-runtime profiler --------------------------------------------------
+
+// The profiler's worker-side surface — slot accumulation each barrier round,
+// plus the aggregations the live plane reads mid-run — must be allocation-
+// free once bind() has sized the slot array: armed profiling may read the
+// host clock, but it must never touch the allocator from the round loop.
+TEST(AllocGuard, ShardProfilerSteadyStateIsAllocationFree) {
+  obs::prof::ShardProfiler prof;
+  prof.bind(8);  // the one allocation, outside the guard
+
+  AllocGuard guard;
+  guard.start();
+  for (std::uint64_t round = 0; round < 1024; ++round) {
+    for (std::size_t s = 0; s < prof.n_shards(); ++s) {
+      obs::prof::ShardProfiler::Slot& slot = prof.slot(s);
+      slot.execute_s += 1e-6;
+      slot.barrier_s += 2e-7;
+      slot.merge_s += 1e-7;
+      slot.skip_s += 5e-8;
+      ++slot.rounds;
+      slot.events += 3;
+      slot.msgs_posted += 1;
+      slot.msgs_drained += 1;
+      if (slot.backlog_hw < round) slot.backlog_hw = round;
+    }
+    prof.maybe_tick();  // period 0: the armed-but-quiet fast path
+    if ((round & 255u) == 0u) {
+      // What LivePlane::snapshot_json reads per tick.
+      const obs::prof::ShardProfiler::Slot t = prof.totals();
+      const double imb = prof.imbalance();
+      ASSERT_GE(t.rounds, 1u);
+      // All slots accumulate identically here, so max/mean is 1 up to
+      // summation rounding.
+      ASSERT_GT(imb, 0.999);
+    }
+  }
+  prof.note_windows(512e-6, 1024, 0, 1024);
+  EXPECT_EQ(guard.stop(), 0u) << "profiler round loop allocated in steady state";
+  EXPECT_EQ(prof.totals().rounds, 1024u);
 }
 
 }  // namespace

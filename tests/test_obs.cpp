@@ -4,13 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <optional>
 #include <sstream>
+#include <vector>
 
 #include "core/transports/adaptive_transport.hpp"
 #include "fs/filesystem.hpp"
 #include "fs/ost.hpp"
 #include "net/network.hpp"
+#include "obs/journal.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
@@ -112,6 +116,68 @@ TEST(Histogram, QuantilesWithinSketchError) {
   EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
 }
 
+TEST(Histogram, EmptySketchIsAllZeros) {
+  const obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) EXPECT_DOUBLE_EQ(h.quantile(q), 0.0);
+  const obs::Json j = h.to_json();
+  EXPECT_DOUBLE_EQ(j.find("count")->number(), 0.0);
+  EXPECT_DOUBLE_EQ(j.find("p99")->number(), 0.0);
+}
+
+TEST(Histogram, SingleSampleDominatesEveryQuantile) {
+  obs::Histogram h;
+  h.add(0.125);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.125);
+  EXPECT_DOUBLE_EQ(h.min(), 0.125);
+  EXPECT_DOUBLE_EQ(h.max(), 0.125);
+  // Interior quantiles come from the sketch midpoint but clamp to [min, max],
+  // so with one sample every quantile is exactly that sample.
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 0.125) << "q=" << q;
+  // Out-of-range q clamps rather than misindexing.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 0.125);
+}
+
+TEST(Histogram, ExtremeValuesLandInClampedBuckets) {
+  // Sub-floor values (zero, denormal-scale) clamp into the smallest tracked
+  // bucket rather than computing log(0); exact min/max still ride along.
+  obs::Histogram tiny;
+  tiny.add(0.0);
+  tiny.add(1e-300);
+  tiny.add(1.0);
+  EXPECT_EQ(tiny.count(), 3u);
+  EXPECT_DOUBLE_EQ(tiny.min(), 0.0);
+  EXPECT_DOUBLE_EQ(tiny.max(), 1.0);
+  EXPECT_DOUBLE_EQ(tiny.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tiny.quantile(1.0), 1.0);
+  // The two clamped samples share the floor bucket: the median estimate is
+  // the floor-bucket midpoint, clamped back into [min, max].
+  EXPECT_LE(tiny.quantile(0.5), 1e-11);
+  EXPECT_GE(tiny.quantile(0.5), 0.0);
+
+  // A huge-dynamic-range sketch (300 decades) stays finite and ordered —
+  // bucket storage is O(observed index range), not O(value).
+  obs::Histogram wide;
+  wide.add(1e-300);
+  wide.add(1e300);
+  EXPECT_DOUBLE_EQ(wide.min(), 1e-300);
+  EXPECT_DOUBLE_EQ(wide.max(), 1e300);
+  EXPECT_LE(wide.quantile(0.25), wide.quantile(0.75));
+  EXPECT_TRUE(std::isfinite(wide.quantile(0.5)));
+
+  // And the ~1% relative-error guarantee holds out at the huge end.
+  obs::Histogram big;
+  for (int i = 0; i < 1000; ++i) big.add(1e9);
+  EXPECT_NEAR(big.quantile(0.5), 1e9, 0.02 * 1e9);
+}
+
 TEST(Histogram, RegistrySerializesSketches) {
   obs::Registry reg;
   for (int i = 1; i <= 100; ++i) reg.histogram("svc").add(i * 0.01);
@@ -124,6 +190,73 @@ TEST(Histogram, RegistrySerializesSketches) {
   EXPECT_DOUBLE_EQ(svc->find("count")->number(), 100.0);
   EXPECT_NE(svc->find("p99"), nullptr);
   EXPECT_NE(reg.render_text().find("svc"), std::string::npos);
+}
+
+// --- merge_records -----------------------------------------------------------
+
+obs::Record rec(double t, obs::Rec kind, std::uint32_t id, std::uint8_t a = 0) {
+  obs::Record r;
+  r.t = t;
+  r.kind = kind;
+  r.id = id;
+  r.a = a;
+  return r;
+}
+
+TEST(MergeRecords, TiedTimestampsOrderByKindThenContent) {
+  // A sharded epilogue in miniature: the run's kComplete mark, a writer end,
+  // an OST state flip, and two host-profile records all land at the same
+  // simulated instant, interleaved adversarially across two journals.
+  const double t = 4.0;
+  obs::Journal a({/*path=*/"", /*max_records=*/64});
+  obs::Journal b({/*path=*/"", /*max_records=*/64});
+  a.append(rec(t, obs::Rec::kProfShard, /*shard=*/1, /*n_shards=*/2));
+  a.append(rec(t, obs::Rec::kRunMark, 1, static_cast<std::uint8_t>(obs::Mark::kComplete)));
+  a.append(rec(t - 1.0, obs::Rec::kWriterStart, 3));
+  b.append(rec(t, obs::Rec::kOstState, 0));
+  b.append(rec(t, obs::Rec::kProfShard, /*shard=*/0, /*n_shards=*/2));
+  b.append(rec(t, obs::Rec::kWriterEnd, 3));
+
+  const std::vector<obs::Record> merged = obs::merge_records({&a, &b});
+  ASSERT_EQ(merged.size(), 6u);
+  // Strictly earlier timestamps first, whatever the kind.
+  EXPECT_EQ(merged[0].kind, obs::Rec::kWriterStart);
+  // At the tie: ascending kind — run mark (2), writer end (6), OST state (7).
+  EXPECT_EQ(merged[1].kind, obs::Rec::kRunMark);
+  EXPECT_EQ(merged[2].kind, obs::Rec::kWriterEnd);
+  EXPECT_EQ(merged[3].kind, obs::Rec::kOstState);
+  // Host-profile records (kind 11, the largest) always sort after every
+  // simulated record at the same instant, shard order broken bytewise.
+  EXPECT_EQ(merged[4].kind, obs::Rec::kProfShard);
+  EXPECT_EQ(merged[4].id, 0u);
+  EXPECT_EQ(merged[5].kind, obs::Rec::kProfShard);
+  EXPECT_EQ(merged[5].id, 1u);
+}
+
+TEST(MergeRecords, ResultDependsOnlyOnTheMultiset) {
+  // Same six records, three different distributions over shard journals
+  // (including one empty part and a null part): identical merged bytes.
+  const std::vector<obs::Record> all = {
+      rec(1.0, obs::Rec::kRunBegin, 1),
+      rec(2.0, obs::Rec::kWriterSignal, 0),
+      rec(2.0, obs::Rec::kWriterStart, 0),
+      rec(2.0, obs::Rec::kProfShard, 0, 1),
+      rec(2.0, obs::Rec::kMdsOp, 0),
+      rec(3.0, obs::Rec::kRunMark, 1, static_cast<std::uint8_t>(obs::Mark::kComplete)),
+  };
+  obs::Journal one({/*path=*/"", 64}), two_a({/*path=*/"", 64}), two_b({/*path=*/"", 64}),
+      empty({/*path=*/"", 64});
+  for (const obs::Record& r : all) one.append(r);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    (i % 2 ? two_a : two_b).append(all[all.size() - 1 - i]);  // reversed, split
+
+  const std::vector<obs::Record> base = obs::merge_records({&one});
+  const std::vector<obs::Record> split = obs::merge_records({&two_a, &two_b, &empty, nullptr});
+  ASSERT_EQ(base.size(), all.size());
+  ASSERT_EQ(split.size(), all.size());
+  EXPECT_EQ(std::memcmp(base.data(), split.data(), base.size() * sizeof(obs::Record)), 0);
+  // And the profiler record still trails its same-time simulated peers.
+  EXPECT_EQ(base[4].kind, obs::Rec::kProfShard);
 }
 
 // --- TraceSink ---------------------------------------------------------------

@@ -1,10 +1,14 @@
-// aio_report: binary run journal -> aio-report-v1 JSON (and optional HTML).
+// aio_report: binary run journal -> aio-report-v1 JSON (and optional HTML
+// and Chrome-trace exports).
 //
-//   aio_report <journal> [-o report.json] [--html report.html] [--summary]
+//   aio_report <journal> [-o report.json] [--html report.html]
+//              [--trace trace.json] [--summary]
 //
-// With no -o the JSON document goes to stdout.  --summary prints the terse
-// text summary to stderr (so it never corrupts piped JSON).  Exit codes:
-// 0 success, 2 usage or I/O error.
+// With no -o the JSON document goes to stdout.  --trace converts the journal
+// (plus the report's critical-path segments) into a Chrome trace_event file
+// for chrome://tracing / Perfetto.  --summary prints the terse text summary
+// to stderr (so it never corrupts piped JSON).  Exit codes: 0 success,
+// 2 usage or I/O error.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -12,12 +16,14 @@
 
 #include "obs/analysis.hpp"
 #include "obs/journal.hpp"
+#include "obs/trace_export.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <journal> [-o report.json] [--html report.html] [--summary]\n",
+               "usage: %s <journal> [-o report.json] [--html report.html] "
+               "[--trace trace.json] [--summary]\n",
                argv0);
   return 2;
 }
@@ -32,7 +38,7 @@ bool write_file(const std::string& path, const std::string& content) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string journal_path, json_path, html_path;
+  std::string journal_path, json_path, html_path, trace_path;
   bool summary = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -42,6 +48,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--html") == 0) {
       if (++i >= argc) return usage(argv[0]);
       html_path = argv[i];
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      if (++i >= argc) return usage(argv[0]);
+      trace_path = argv[i];
     } else if (std::strcmp(arg, "--summary") == 0) {
       summary = true;
     } else if (arg[0] == '-') {
@@ -70,6 +79,11 @@ int main(int argc, char** argv) {
   }
   if (!html_path.empty() && !write_file(html_path, aio::obs::report_html(report))) {
     std::fprintf(stderr, "aio_report: cannot write %s\n", html_path.c_str());
+    return 2;
+  }
+  if (!trace_path.empty() &&
+      !write_file(trace_path, aio::obs::report_trace(*journal, report).dump() + "\n")) {
+    std::fprintf(stderr, "aio_report: cannot write %s\n", trace_path.c_str());
     return 2;
   }
   if (summary) std::fputs(aio::obs::report_summary(report).c_str(), stderr);
